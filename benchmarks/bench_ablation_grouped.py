@@ -1,0 +1,110 @@
+"""Ablation: fused multi-table TT execution vs per-table chains.
+
+DLRM dispatches 26 embedding lookups per iteration; fusing same-shape
+tables into one chain (GroupedTTEmbeddingBag) amortises GEMM dispatch the
+way FBGEMM's batched kernels do on GPU. Measures the fwd+bwd speedup as
+the table count grows at a fixed (small) per-table batch.
+"""
+
+import numpy as np
+import pytest
+from conftest import banner
+
+from repro.bench import format_table, uniform_workload
+from repro.tt import TTEmbeddingBag, TTShape
+from repro.tt.grouped import GroupedTTEmbeddingBag
+
+SHAPE = TTShape.suggested(100_000, 16, d=3, rank=16)
+BATCH = 64  # small per-table batch: the regime where fusion matters
+
+
+def setup(num_tables):
+    tables = [TTEmbeddingBag(100_000, 16, shape=SHAPE, rng=i)
+              for i in range(num_tables)]
+    group = GroupedTTEmbeddingBag(tables)
+    rng = np.random.default_rng(0)
+    sparse = []
+    for _ in range(num_tables):
+        idx, off = uniform_workload(100_000, BATCH, rng=rng)
+        sparse.append((idx, off))
+    grads = [np.ones((BATCH, 16)) for _ in range(num_tables)]
+    return tables, group, sparse, grads
+
+
+@pytest.mark.parametrize("num_tables", [8, 26])
+def test_per_table_chains(benchmark, num_tables):
+    tables, _, sparse, grads = setup(num_tables)
+
+    def step():
+        for t, emb in enumerate(tables):
+            emb.zero_grad()
+            emb.forward(*sparse[t])
+            emb.backward(grads[t])
+
+    benchmark.group = f"grouped T={num_tables}"
+    benchmark(step)
+
+
+@pytest.mark.parametrize("num_tables", [8, 26])
+def test_fused_group(benchmark, num_tables):
+    tables, group, sparse, grads = setup(num_tables)
+
+    def step():
+        for emb in tables:
+            emb.zero_grad()
+        group.forward_all(sparse)
+        group.backward_all(grads)
+
+    benchmark.group = f"grouped T={num_tables}"
+    benchmark(step)
+
+
+def test_fusion_report(benchmark):
+    import time
+
+    def measure(fn, reps=5):
+        fn()
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        return (time.perf_counter() - t0) / reps * 1e3
+
+    def compute():
+        rows = []
+        for num_tables in (4, 12, 26):
+            tables, group, sparse, grads = setup(num_tables)
+
+            def per_table():
+                for t, emb in enumerate(tables):
+                    emb.zero_grad()
+                    emb.forward(*sparse[t])
+                    emb.backward(grads[t])
+
+            def fused():
+                for emb in tables:
+                    emb.zero_grad()
+                group.forward_all(sparse)
+                group.backward_all(grads)
+
+            a = measure(per_table)
+            b = measure(fused)
+            rows.append([num_tables, f"{a:.2f}", f"{b:.2f}", f"{a / b:.2f}x"])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    banner(f"Ablation: fused multi-table chain (batch {BATCH}/table, rank 16)")
+    print(format_table(
+        ["tables", "per-table ms", "fused ms", "speedup"], rows
+    ))
+    print("\nNegative result on CPU: NumPy's GEMM dispatch overhead is tiny, "
+          "so fusing chains only saves a little at small table counts and "
+          "the gather/concatenate copies dominate at 26 tables. The "
+          "optimization exists for GPU backends (FBGEMM batched kernels), "
+          "where per-launch overhead is 10-100x larger; the fused kernel "
+          "here is the bit-equivalent reference for such a backend "
+          "(tests/test_tt_grouped.py).")
+    speedups = [float(r[3].rstrip("x")) for r in rows]
+    # Sanity: fusion is within 2x either way (it must never be catastrophic),
+    # and the small-table-count case does not lose.
+    assert all(0.5 < s < 2.0 for s in speedups)
+    assert speedups[0] > 0.9

@@ -1,0 +1,82 @@
+"""Ablation: batched-GEMM kernel vs naive per-row chain, and index dedup.
+
+Two of TT-Rec's kernel-level design choices:
+
+1. Algorithm 1's batched GEMM formulation vs evaluating Eq. 3 row by row
+   (the paper's 3x-over-T3nsor claim rests on batching).
+2. Deduplicating repeated indices before the TT chain (an optimization the
+   paper's GPU kernel omits; relevant at high pooling factors).
+"""
+
+import numpy as np
+import pytest
+from conftest import banner
+
+from repro.bench import format_table, pooling_workload, uniform_workload
+from repro.tt import TTEmbeddingBag
+from repro.tt.kernels import tt_lookup_reference
+
+ROWS = 50_000
+DIM = 16
+RANK = 16
+BATCH = 256
+
+
+def test_batched_gemm_forward(benchmark):
+    emb = TTEmbeddingBag(ROWS, DIM, rank=RANK, rng=0)
+    idx, _ = uniform_workload(ROWS, BATCH, rng=0)
+    benchmark.group = "batched-vs-naive"
+    benchmark(emb.lookup, idx)
+
+
+def test_naive_per_row_forward(benchmark):
+    emb = TTEmbeddingBag(ROWS, DIM, rank=RANK, rng=0)
+    cores = [p.data for p in emb.cores]
+    idx, _ = uniform_workload(ROWS, BATCH, rng=0)
+    benchmark.group = "batched-vs-naive"
+    benchmark(tt_lookup_reference, cores, emb.shape, idx)
+
+
+def test_batching_speedup_report(benchmark):
+    import time
+
+    def compute():
+        emb = TTEmbeddingBag(ROWS, DIM, rank=RANK, rng=0)
+        cores = [p.data for p in emb.cores]
+        idx, _ = uniform_workload(ROWS, BATCH, rng=0)
+        emb.lookup(idx)
+        t0 = time.perf_counter()
+        for _ in range(5):
+            emb.lookup(idx)
+        batched = (time.perf_counter() - t0) / 5
+        t0 = time.perf_counter()
+        tt_lookup_reference(cores, emb.shape, idx)
+        naive = time.perf_counter() - t0
+        return batched, naive
+
+    batched, naive = benchmark.pedantic(compute, rounds=1, iterations=1)
+    banner("Ablation: batched GEMM vs naive per-row TT chain (forward only)")
+    print(format_table(
+        ["kernel", "ms/batch", "speedup"],
+        [["naive per-row (Eq. 3 loop)", f"{naive * 1e3:.2f}", "1.0x"],
+         ["batched GEMM (Algorithm 1)", f"{batched * 1e3:.2f}",
+          f"{naive / batched:.0f}x"]],
+    ))
+    print("\npaper: TT-EmbeddingBag is ~3x faster than the SOTA TT "
+          "implementation; batching is the dominant reason")
+    assert batched < naive / 3
+
+
+@pytest.mark.parametrize("dedup", [False, True], ids=["no-dedup", "dedup"])
+def test_dedup_at_high_pooling(benchmark, dedup):
+    """Zipf traffic at P=100 repeats hot rows heavily; dedup collapses them."""
+    emb = TTEmbeddingBag(ROWS, DIM, rank=RANK, dedup=dedup, rng=0)
+    idx, off = pooling_workload(ROWS, 32, 100, zipf_s=1.2, rng=0)
+
+    def step():
+        out = emb.forward(idx, off)
+        emb.zero_grad()
+        emb.backward(np.ones_like(out))
+
+    benchmark.group = "dedup P=100"
+    benchmark(step)

@@ -1,0 +1,123 @@
+"""Related-work comparison (§7): TT vs hashing vs low-rank vs TR vs quantization.
+
+The paper argues qualitatively against each alternative; this bench makes
+the comparison quantitative on one workload, matching parameter budgets:
+
+- accuracy at equal memory: hashing (collisions), low-rank (rank ceiling)
+  and TR (ring overhead) against TT;
+- post-training quantization: accuracy of a trained dense model after
+  4/8-bit table quantization (inference-time compression only).
+"""
+
+import numpy as np
+from conftest import banner, scaled_iters
+
+from repro.baselines import (
+    HashedEmbeddingBag,
+    LowRankEmbeddingBag,
+    QuantizedEmbeddingBag,
+    TREmbeddingBag,
+)
+from repro.bench import format_table
+from repro.data import SyntheticCTRDataset
+from repro.models import DLRMConfig
+from repro.models.dlrm import DLRM
+from repro.ops import EmbeddingBag
+from repro.training import Trainer
+from repro.tt import TTEmbeddingBag
+from trainlib import MIN_ROWS, small_config
+
+
+def _build(spec, cfg, kind, rng_seed=0):
+    """DLRM with the largest tables replaced by the given compressor."""
+    rng = np.random.default_rng(rng_seed)
+    big = {i for i in spec.largest(5) if spec.table_sizes[i] >= MIN_ROWS}
+    embeddings = []
+    for i, size in enumerate(cfg.table_sizes):
+        if i not in big or kind == "dense":
+            embeddings.append(EmbeddingBag(size, cfg.emb_dim, rng=rng))
+        elif kind == "tt":
+            embeddings.append(TTEmbeddingBag(size, cfg.emb_dim, rank=8, rng=rng))
+        elif kind == "tr":
+            embeddings.append(TREmbeddingBag(size, cfg.emb_dim, rank=4, rng=rng))
+        elif kind == "lowrank":
+            embeddings.append(LowRankEmbeddingBag(size, cfg.emb_dim, rank=2, rng=rng))
+        elif kind == "hashing":
+            # bucket count chosen to land near the TT parameter budget
+            tt_params = TTEmbeddingBag(size, cfg.emb_dim, rank=8, rng=0).num_parameters()
+            buckets = max(4, tt_params // cfg.emb_dim)
+            embeddings.append(HashedEmbeddingBag(size, cfg.emb_dim,
+                                                 num_buckets=buckets, rng=rng))
+        else:
+            raise ValueError(kind)
+    return DLRM(cfg, embeddings, rng=rng)
+
+
+def test_training_compressors(benchmark, kaggle_small):
+    iters = scaled_iters(200)
+    cfg = small_config(kaggle_small)
+
+    def run():
+        out = []
+        for kind in ("dense", "tt", "tr", "lowrank", "hashing"):
+            ds = SyntheticCTRDataset(kaggle_small, seed=7, noise=0.7)
+            model = _build(kaggle_small, cfg, kind)
+            trainer = Trainer(model, lr=0.1)
+            trainer.train(ds.batches(96, iters))
+            ev = trainer.evaluate(ds.batches(512, 6))
+            out.append([kind, model.embedding_parameters(),
+                        f"{ev.accuracy * 100:.2f}", f"{ev.auc:.4f}"])
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    banner("Related-work comparison: accuracy at matched embedding budgets")
+    print(format_table(["method", "emb params", "accuracy %", "auc"], rows))
+    print("\npaper (§7): hashing collisions cost accuracy at scale; low-rank "
+          "cannot reach TT's compression; TR pays ring overhead for similar "
+          "quality")
+    by_kind = {r[0]: r for r in rows}
+    # Compressors all trained; TT should land within noise of dense.
+    assert float(by_kind["tt"][3]) > float(by_kind["dense"][3]) - 0.05
+    # Low-rank's compression ceiling: at these settings it stores more than
+    # TT by construction.
+    assert int(by_kind["lowrank"][1]) > int(by_kind["tt"][1])
+
+
+def test_posttraining_quantization(benchmark, kaggle_small):
+    iters = scaled_iters(200)
+    cfg = small_config(kaggle_small)
+
+    def run():
+        ds = SyntheticCTRDataset(kaggle_small, seed=7, noise=0.7)
+        model = _build(kaggle_small, cfg, "dense")
+        trainer = Trainer(model, lr=0.1)
+        trainer.train(ds.batches(96, iters))
+        fp = trainer.evaluate(ds.batches(512, 6))
+        out = [["fp32 (trained)", f"{fp.accuracy * 100:.2f}", f"{fp.auc:.4f}", "1x"]]
+        for bits in (8, 4, 2):
+            quantized = [
+                QuantizedEmbeddingBag.from_dense(e.weight.data, bits=bits)
+                for e in model.embeddings
+            ]
+            qmodel = DLRM.__new__(DLRM)
+            qmodel.__dict__.update(model.__dict__)
+            qmodel.embeddings = quantized
+            qt = Trainer(qmodel, lr=0.1)
+            ev = qt.evaluate(ds.batches(512, 6))
+            ratio = quantized[0].compression_ratio()
+            out.append([f"int{bits}", f"{ev.accuracy * 100:.2f}",
+                        f"{ev.auc:.4f}", f"{ratio:.1f}x"])
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    banner("Post-training quantization of the trained dense model (Guan et al.)")
+    print(format_table(["precision", "accuracy %", "auc", "table compression"], rows))
+    print("\npaper (§7): 4-bit post-training quantization is feasible for "
+          "inference; compare its ~4-7x to TT's 100x+. (At this bench's "
+          "scale the under-trained dense tables mean aggressive quantization "
+          "can act as a regularizer; only int8~fp32 is asserted.)")
+    aucs = [float(r[2]) for r in rows]
+    assert aucs[1] > aucs[0] - 0.02  # int8 ~ lossless
+    # compression ratios ascend as bits fall
+    ratios = [float(r[3].rstrip("x")) for r in rows]
+    assert ratios == sorted(ratios)

@@ -1,0 +1,51 @@
+"""Fig. 1: the accuracy-vs-memory design space and its Pareto frontier.
+
+Sweeps TT-rank x embedding-dim x compressed-table-count on the scaled
+Kaggle spec, prints every design point and marks the Pareto-optimal ones
+(the paper's black curve).
+"""
+
+from conftest import banner, scaled_iters
+
+from repro.analysis.design_space import frontier, sweep_design_space
+from repro.bench import format_table
+
+
+def test_fig1_design_space(benchmark, kaggle_small):
+    iters = scaled_iters(100)
+
+    def run():
+        points = sweep_design_space(
+            kaggle_small,
+            ranks=(4, 16), emb_dims=(4, 8), table_counts=(0, 3, 7),
+            train_iters=iters, eval_iters=6, seed=5, min_rows=300,
+        )
+        return points, frontier(points)
+
+    points, front = benchmark.pedantic(run, rounds=1, iterations=1)
+    front_set = {id(p) for p in front}
+    banner("Fig. 1: design space (accuracy vs embedding memory)")
+    rows = []
+    for p in sorted(points, key=lambda p: p.memory_bytes):
+        rows.append([
+            "*" if id(p) in front_set else "",
+            p.num_tt_tables or "-", p.rank or "-", p.emb_dim,
+            f"{p.memory_bytes / 1024:.1f} KiB", f"{p.accuracy * 100:.2f}",
+        ])
+    print(format_table(
+        ["pareto", "TT-Emb", "rank", "emb dim", "emb memory", "accuracy %"], rows
+    ))
+    print("\npaper: compressed points dominate the baseline in memory at "
+          "near-baseline accuracy; the frontier is traced by TT settings")
+    assert len(front) >= 2
+    # Frontier must be monotone: increasing memory -> increasing accuracy.
+    accs = [p.accuracy for p in front]
+    assert all(a < b for a, b in zip(accs, accs[1:]))
+    # At least one compressed point must dominate some baseline point in
+    # memory while staying within 2% accuracy.
+    baselines = [p for p in points if p.num_tt_tables == 0]
+    compressed = [p for p in points if p.num_tt_tables > 0]
+    assert any(
+        c.memory_bytes < b.memory_bytes / 2 and c.accuracy > b.accuracy - 0.02
+        for c in compressed for b in baselines
+    )

@@ -1,0 +1,109 @@
+"""Fig. 6: TT-Rec validation accuracy across ranks, table counts and inits.
+
+(a)/(b): accuracy when compressing the 3/5/7 largest tables at TT-ranks
+8/16/32/64, vs the uncompressed baseline (Kaggle-shaped and
+Terabyte-shaped synthetic data).
+(c): accuracy under the three TT-core initialization strategies.
+
+Expected shapes (not absolute values): accuracy degrades gracefully with
+more compressed tables, improves with rank (saturating), and the sampled
+Gaussian init is never worse than plain Gaussian/uniform cores.
+"""
+
+from conftest import banner, scaled_iters
+
+from repro.bench import format_table
+from repro.models import TTConfig
+from trainlib import train_and_eval
+
+RANKS = (8, 16, 32)
+TABLE_COUNTS = (3, 5, 7)
+
+
+def _sweep(spec, iters):
+    results = {}
+    _, base, _ = train_and_eval(spec, num_tt=0, iters=iters, seed=2)
+    results["baseline"] = base
+    for n in TABLE_COUNTS:
+        for rank in RANKS:
+            _, ev, _ = train_and_eval(
+                spec, num_tt=n, tt=TTConfig(rank=rank), iters=iters, seed=2,
+            )
+            results[(n, rank)] = ev
+    return results
+
+
+def _report(name, results):
+    banner(f"Fig. 6: validation accuracy, {name}")
+    rows = [["baseline", "-", f"{results['baseline'].accuracy * 100:.2f}",
+             f"{results['baseline'].auc:.4f}"]]
+    for (n, rank), ev in ((k, v) for k, v in results.items() if k != "baseline"):
+        rows.append([f"TT-Emb {n}", rank, f"{ev.accuracy * 100:.2f}", f"{ev.auc:.4f}"])
+    print(format_table(["setting", "rank", "accuracy %", "auc"], rows))
+
+
+def test_fig6a_kaggle(benchmark, kaggle_small):
+    iters = scaled_iters(150)
+    results = benchmark.pedantic(lambda: _sweep(kaggle_small, iters),
+                                 rounds=1, iterations=1)
+    _report("Kaggle-shaped", results)
+    base = results["baseline"].auc
+    print(f"\npaper: TT-Rec within ~0.03% of baseline at the optimal rank")
+    best = max(ev.auc for k, ev in results.items() if k != "baseline")
+    assert best > base - 0.02
+    # more tables compressed at the lowest rank should not *help*
+    assert results[(7, 8)].auc <= best + 1e-9
+
+
+def test_fig6b_terabyte(benchmark, terabyte_small):
+    iters = scaled_iters(120)
+    results = benchmark.pedantic(lambda: _sweep(terabyte_small, iters),
+                                 rounds=1, iterations=1)
+    _report("Terabyte-shaped", results)
+    best = max(ev.auc for k, ev in results.items() if k != "baseline")
+    assert best > results["baseline"].auc - 0.02
+
+
+def test_fig6c_initialization(benchmark, kaggle_small):
+    """Init-strategy comparison, averaged over seeds.
+
+    Note on fidelity: all three arms here are *variance-matched* to the
+    optimal N(0, 1/3n) target (our initializers apply the paper's §3.2
+    analysis to every strategy), so the gap the paper reports against
+    naively-scaled Gaussian/uniform cores collapses to the shape of the
+    product distribution alone. At this training scale run-to-run noise
+    exceeds that residual effect, so the assertion only requires sampled
+    Gaussian to stay within noise of the best arm. The distributional
+    mechanism itself (near-zero mass removal) is verified deterministically
+    in bench_fig3_product_distributions.py.
+    """
+    iters = scaled_iters(150)
+    seeds = (3, 11, 23)
+
+    def run():
+        out = {}
+        for strategy in ("sampled_gaussian", "gaussian", "uniform"):
+            aucs, accs = [], []
+            for seed in seeds:
+                _, ev, _ = train_and_eval(
+                    kaggle_small, num_tt=5,
+                    tt=TTConfig(rank=16, initializer=strategy),
+                    iters=iters, seed=seed,
+                )
+                aucs.append(ev.auc)
+                accs.append(ev.accuracy)
+            out[strategy] = (sum(accs) / len(accs), sum(aucs) / len(aucs))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    banner("Fig. 6(c): TT-core initialization strategies (TT-Emb 5, R=16, "
+           f"mean of {len(seeds)} seeds)")
+    print(format_table(
+        ["init strategy", "accuracy %", "auc"],
+        [[k, f"{acc * 100:.2f}", f"{auc:.4f}"] for k, (acc, auc) in results.items()],
+    ))
+    print("\npaper: sampled Gaussian achieves the highest accuracy (vs "
+          "naively-scaled core inits; see docstring)")
+    sg = results["sampled_gaussian"][1]
+    best = max(auc for _, auc in results.values())
+    assert sg >= best - 0.05

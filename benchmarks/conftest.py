@@ -1,0 +1,51 @@
+"""Shared fixtures/helpers for the paper-reproduction benchmark suite.
+
+Every file regenerates one table or figure of the paper. Each experiment
+runs inside the pytest-benchmark fixture (so ``--benchmark-only`` runs the
+whole suite) and *prints* the regenerated rows/series in the paper's
+layout. Run with ``-s`` to see the output inline, e.g.::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Scale: by default every training-based experiment uses a heavily scaled
+Criteo spec and few iterations so the suite completes in minutes on a
+CPU. Set ``REPRO_BENCH_SCALE`` (default 1.0) above 1 to train
+longer/larger for higher-fidelity numbers, e.g.
+``REPRO_BENCH_SCALE=4 pytest benchmarks/bench_fig6_accuracy.py -s``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.data import KAGGLE, TERABYTE
+
+
+def bench_scale() -> float:
+    """User-controlled fidelity multiplier (iterations, table sizes)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled_iters(base: int) -> int:
+    return max(10, int(round(base * bench_scale())))
+
+
+@pytest.fixture(scope="session")
+def kaggle_small():
+    """Kaggle layout shrunk for CPU training (largest table ~5k rows)."""
+    return KAGGLE.scaled(0.0005)
+
+
+@pytest.fixture(scope="session")
+def terabyte_small():
+    """Terabyte layout shrunk for CPU training."""
+    return TERABYTE.scaled(0.0001)
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,77 @@
+"""Tune the TT-Rec LFU cache against a Zipf access distribution.
+
+Shows the analytics-and-measurement loop from the paper's §6.5: for a
+given traffic skew, what cache size do you need for a target hit rate, and
+what does the cache actually achieve once warmed? Compares measured
+steady-state hit rates of the LFU cache against the analytic ideal
+(top-k traffic mass) across cache sizes and policies.
+
+Run:  python examples/cache_tuning.py [--rows 200000] [--zipf 1.05]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import CachedTTEmbeddingBag
+from repro.bench import format_table
+from repro.data import ZipfSampler
+
+
+def measure_hit_rate(rows, cache_size, zipf_s, policy, *, steps=150,
+                     batch=256, seed=0):
+    sampler = ZipfSampler(rows, zipf_s, rng=seed)
+    emb = CachedTTEmbeddingBag(
+        rows, 8, rank=4, cache_size=cache_size, warmup_steps=20,
+        refresh_interval=50, policy=policy, rng=seed,
+    )
+    warm_hits = warm_lookups = 0
+    for step in range(steps):
+        before_h, before_l = emb.hits, emb.lookups
+        emb.forward(sampler.sample(batch))
+        if emb.is_warm and step > 40:
+            warm_hits += emb.hits - before_h
+            warm_lookups += emb.lookups - before_l
+    return warm_hits / max(warm_lookups, 1), sampler
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=200_000)
+    parser.add_argument("--zipf", type=float, default=1.05)
+    args = parser.parse_args()
+
+    sampler = ZipfSampler(args.rows, args.zipf, rng=0)
+    print(f"traffic: Zipf(s={args.zipf}) over {args.rows:,} rows\n")
+
+    print("Analytic sizing (ideal hit rate = traffic mass of the k hottest rows):")
+    targets = [0.25, 0.5, 0.75, 0.9]
+    rows = [[f"{t:.0%}", f"{sampler.rank_for_mass(t):,}",
+             f"{sampler.rank_for_mass(t) / args.rows:.3%}"] for t in targets]
+    print(format_table(["target hit rate", "cache rows needed", "fraction of table"], rows))
+
+    print("\nMeasured steady-state hit rate (LFU, semi-dynamic refresh):")
+    measured = []
+    for frac in (0.0001, 0.001, 0.01):
+        k = max(1, int(args.rows * frac))
+        hit, _ = measure_hit_rate(args.rows, k, args.zipf, "lfu")
+        ideal = sampler.top_k_mass(k)
+        measured.append([f"{frac:.2%}", f"{k:,}", f"{hit:.3f}", f"{ideal:.3f}",
+                         f"{hit / max(ideal, 1e-9):.2f}"])
+    print(format_table(
+        ["cache size", "rows", "measured hit", "ideal hit", "efficiency"], measured
+    ))
+
+    print("\nPolicy comparison at 0.5% cache:")
+    k = max(1, args.rows // 200)
+    rows = []
+    for policy in ("lfu", "lru", "static"):
+        hit, _ = measure_hit_rate(args.rows, k, args.zipf, policy)
+        rows.append([policy, f"{hit:.3f}"])
+    print(format_table(["policy", "measured hit rate"], rows))
+    print("\npaper: 0.01% of the table is already sufficient from both the "
+          "accuracy and training-time perspectives (§6.5)")
+
+
+if __name__ == "__main__":
+    main()

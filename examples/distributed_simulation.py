@@ -1,0 +1,91 @@
+"""Simulated multi-worker training: the §5 parallelism story, executed.
+
+Trains the same scaled DLRM three ways and compares learning curves,
+per-device memory and wire traffic:
+
+1. single worker (reference);
+2. 4-worker **data parallelism** with TT-Rec (the paper's strategy —
+   bit-identical to the reference by the synchronous-SGD equivalence);
+3. 4-worker **hybrid model parallelism** with the dense baseline (sharded
+   tables + per-iteration all-to-all — what the dense model is forced
+   into once it outgrows a device).
+
+Run:  python examples/distributed_simulation.py [--iters 120]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import DLRMConfig, TTConfig, build_dlrm, build_ttrec
+from repro.data import KAGGLE, SyntheticCTRDataset
+from repro.distributed import Communicator, DataParallelTrainer, ShardedEmbeddingDLRM
+from repro.ops.loss import bce_with_logits
+from repro.ops.optim import SparseSGD
+
+WORLD = 4
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iters", type=int, default=120)
+    parser.add_argument("--batch", type=int, default=64)
+    parser.add_argument("--scale", type=float, default=0.0005)
+    args = parser.parse_args()
+
+    spec = KAGGLE.scaled(args.scale)
+    cfg = DLRMConfig(table_sizes=spec.table_sizes, emb_dim=8,
+                     bottom_mlp=(32, 16), top_mlp=(32,))
+
+    # --- 1. single-worker reference (TT-Rec) ---------------------------- #
+    ds = SyntheticCTRDataset(spec, seed=0, noise=0.7)
+    single = build_ttrec(cfg, num_tt_tables=5, tt=TTConfig(rank=8),
+                         min_rows=60, rng=0)
+    opt = SparseSGD(single.parameters(), lr=0.1)
+    single_losses = []
+    for batch in ds.batches(args.batch, args.iters):
+        opt.zero_grad()
+        logits = single.forward(batch.dense, batch.sparse)
+        loss, grad = bce_with_logits(logits, batch.labels)
+        single.backward(grad)
+        opt.step()
+        single_losses.append(loss)
+    print(f"single worker (TT-Rec):      final loss "
+          f"{np.mean(single_losses[-20:]):.4f}")
+
+    # --- 2. data-parallel TT-Rec ----------------------------------------- #
+    ds = SyntheticCTRDataset(spec, seed=0, noise=0.7)  # same stream
+    replicas = [build_ttrec(cfg, num_tt_tables=5, tt=TTConfig(rank=8),
+                            min_rows=60, rng=0) for _ in range(WORLD)]
+    dp = DataParallelTrainer(replicas, lr=0.1)
+    dp_losses = [dp.train_step(b) for b in ds.batches(args.batch, args.iters)]
+    drift = abs(np.mean(dp_losses[-20:]) - np.mean(single_losses[-20:]))
+    print(f"{WORLD}-worker data parallel:     final loss "
+          f"{np.mean(dp_losses[-20:]):.4f} "
+          f"(matches single worker to {drift:.2e} — synchronous SGD "
+          f"equivalence)")
+    print(f"  allreduce traffic: "
+          f"{dp.comm.bytes_allreduce / args.iters / 1e6:.2f} MB/iter, "
+          f"all-to-all: {dp.comm.bytes_all_to_all} B")
+
+    # --- 3. hybrid model-parallel dense ---------------------------------- #
+    ds = SyntheticCTRDataset(spec, seed=0, noise=0.7)
+    comm = Communicator(WORLD)
+    sharded = ShardedEmbeddingDLRM.from_dlrm(build_dlrm(cfg, rng=0), WORLD,
+                                             comm=comm, lr=0.1)
+    mp_losses = []
+    for batch in ds.batches(args.batch, args.iters):
+        sharded.zero_grad()
+        mp_losses.append(sharded.train_step(batch))
+    loads = sharded.per_worker_embedding_bytes()
+    print(f"{WORLD}-worker model parallel:    final loss "
+          f"{np.mean(mp_losses[-20:]):.4f} (dense baseline)")
+    print(f"  per-worker embedding shards: "
+          f"{[f'{b / 1e3:.0f} KB' for b in loads]}")
+    print(f"  all-to-all traffic: "
+          f"{comm.bytes_all_to_all / args.iters / 1e6:.2f} MB/iter "
+          f"(the overhead TT-Rec's data parallelism avoids)")
+
+
+if __name__ == "__main__":
+    main()

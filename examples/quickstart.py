@@ -1,0 +1,59 @@
+"""Quickstart: TT-compress an embedding table and use it like EmbeddingBag.
+
+Demonstrates the core public API in under a minute:
+
+1. Build a ``TTEmbeddingBag`` for a million-row table and inspect its
+   compression ratio.
+2. Look up rows, pool bags, run a backward pass and an SGD step.
+3. Round-trip a small pre-trained dense table through TT-SVD.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import SparseSGD, TTEmbeddingBag, TTShape, tt_svd
+
+rng = np.random.default_rng(0)
+
+# ----------------------------------------------------------------------- #
+# 1. A compressed million-row embedding table
+# ----------------------------------------------------------------------- #
+NUM_ROWS, DIM = 1_000_000, 16
+emb = TTEmbeddingBag(NUM_ROWS, DIM, rank=32, d=3, rng=0)
+print(f"table: {NUM_ROWS:,} x {DIM}")
+print(f"TT shape: {emb.shape.describe()}")
+print(f"dense parameters:     {NUM_ROWS * DIM:,}")
+print(f"TT parameters:        {emb.num_parameters():,}")
+print(f"compression ratio:    {emb.compression_ratio():.0f}x")
+
+# ----------------------------------------------------------------------- #
+# 2. Lookups, bags, gradients
+# ----------------------------------------------------------------------- #
+rows = emb.lookup(np.array([3, 141_592, 999_999]))
+print(f"\nlookup -> shape {rows.shape}, first row head: {np.round(rows[0, :4], 4)}")
+
+# Two bags: {10, 11, 12} summed, {999} alone — the EmbeddingBag interface.
+indices = np.array([10, 11, 12, 999])
+offsets = np.array([0, 3, 4])
+pooled = emb.forward(indices, offsets)
+print(f"pooled bags -> shape {pooled.shape}")
+
+# Backward + sparse SGD step: only the touched core slices update.
+emb.zero_grad()
+emb.forward(indices, offsets)
+emb.backward(np.ones_like(pooled))
+opt = SparseSGD(emb.parameters(), lr=0.1)
+opt.step()
+print("ran backward + SparseSGD step over", sum(p.size for p in emb.parameters()),
+      "core parameters")
+
+# ----------------------------------------------------------------------- #
+# 3. Compress an existing (pre-trained) dense table with TT-SVD
+# ----------------------------------------------------------------------- #
+shape = TTShape.with_uniform_rank(60, 8, (3, 4, 5), (2, 2, 2), rank=100)
+dense = rng.normal(size=(60, 8))
+small = TTEmbeddingBag(60, 8, shape=shape, rng=0)
+small.load_cores(tt_svd(dense, shape))
+err = np.abs(small.materialize() - dense).max()
+print(f"\nTT-SVD round-trip of a full-rank 60x8 table: max error {err:.2e}")

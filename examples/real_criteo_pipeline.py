@@ -1,0 +1,114 @@
+"""End-to-end pipeline on raw Criteo-format logs (no preprocessed data needed).
+
+Runs the full MLPerf-style path the paper presupposes, on raw TSV files:
+
+1. scan the training days -> vocabulary per categorical feature
+   (frequency-thresholded, OOV row reserved) -> derived DatasetSpec;
+2. auto-pick TT ranks for a memory budget;
+3. train TT-Rec streaming from the raw file with negative downsampling
+   (the paper's Terabyte setting);
+4. evaluate on the held-out day.
+
+Point ``--train`` / ``--test`` at real Criteo files to run on real data.
+Without arguments the script fabricates a small raw-format corpus (with a
+planted signal in one categorical feature) so the whole pipeline is
+demonstrable offline — which also serves as an integration check that the
+preprocessing produces learnable inputs.
+
+Run:  python examples/real_criteo_pipeline.py [--train day_0.tsv --test day_1.tsv]
+"""
+
+import argparse
+import os
+import tempfile
+
+import numpy as np
+
+from repro import DLRMConfig, TTConfig, Trainer, build_ttrec
+from repro.analysis.autotune import plan_compression
+from repro.data.preprocess import Preprocessor, build_vocabularies
+
+
+def fabricate_raw_days(directory: str, *, samples_per_day=10_000, days=2, seed=0):
+    """Write Criteo-format TSVs with a planted signal: categorical feature 0
+    has 200 values; even values lean positive, odd lean negative."""
+    rng = np.random.default_rng(seed)
+    paths = []
+    for day in range(days):
+        lines = []
+        for _ in range(samples_per_day):
+            v0 = int(rng.zipf(1.3)) % 200
+            p_click = 0.75 if v0 % 2 == 0 else 0.25
+            label = int(rng.random() < p_click)
+            ints = [str(int(x)) for x in rng.integers(0, 50, 13)]
+            cats = [f"{v0:08x}"] + [f"{int(v):08x}"
+                                    for v in rng.integers(0, 500, 25)]
+            lines.append("\t".join([str(label)] + ints + cats))
+        path = os.path.join(directory, f"day_{day}.tsv")
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        paths.append(path)
+    return paths
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--train", type=str, default=None)
+    parser.add_argument("--test", type=str, default=None)
+    parser.add_argument("--min-frequency", type=int, default=2)
+    parser.add_argument("--budget-mb", type=float, default=0.05)
+    parser.add_argument("--negative-keep", type=float, default=1.0,
+                        help="keep rate for negatives (Terabyte paper: 0.125)")
+    parser.add_argument("--batch-size", type=int, default=128)
+    parser.add_argument("--epochs", type=int, default=3)
+    args = parser.parse_args()
+
+    tmpdir = None
+    if args.train is None:
+        tmpdir = tempfile.mkdtemp(prefix="criteo_demo_")
+        train_path, test_path = fabricate_raw_days(tmpdir)
+        print(f"fabricated demo corpus under {tmpdir}")
+    else:
+        train_path, test_path = args.train, args.test or args.train
+
+    # 1. Vocabulary pass --------------------------------------------------- #
+    vocabs = build_vocabularies([train_path], min_frequency=args.min_frequency)
+    pre = Preprocessor(vocabs)
+    spec = pre.spec()
+    print(f"vocabularies: {sum(spec.table_sizes):,} total rows across 26 "
+          f"tables (largest {max(spec.table_sizes):,})")
+
+    # 2. Compression plan --------------------------------------------------- #
+    plan = plan_compression(spec.table_sizes, 8,
+                            budget_params=int(args.budget_mb * 1e6 / 4),
+                            min_rows=50, candidate_ranks=(2, 4, 8, 16))
+    compressed = plan.compressed_indices()
+    rank = plan.rank_for(compressed[0]) if compressed else None
+    print(f"plan: compress {len(compressed)} tables at rank {rank}, "
+          f"{plan.compression_ratio():.1f}x vs dense")
+
+    # 3. Train from the raw file ------------------------------------------- #
+    cfg = DLRMConfig(table_sizes=spec.table_sizes, emb_dim=8,
+                     bottom_mlp=(32, 16), top_mlp=(32,))
+    model = build_ttrec(cfg, num_tt_tables=len(compressed) or 1,
+                        tt=TTConfig(rank=rank or 8), min_rows=50, rng=0)
+    trainer = Trainer(model, lr=0.15)
+    keep = None if args.negative_keep >= 1.0 else args.negative_keep
+    total_batches = 0
+    for epoch in range(args.epochs):
+        res = trainer.train(pre.batches(train_path, args.batch_size,
+                                        negative_keep_rate=keep, rng=epoch))
+        total_batches += res.iterations
+        print(f"epoch {epoch + 1}: {res.iterations} batches, "
+              f"loss {res.smoothed_loss():.4f}")
+
+    # 4. Held-out evaluation ------------------------------------------------ #
+    ev = trainer.evaluate(pre.batches(test_path, 512))
+    print(f"held-out day: {ev}")
+    if tmpdir:
+        assert ev.auc > 0.6, "planted signal should be learnable"
+        print("planted-signal check passed (auc > 0.6)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""TT-Rec reproduction: Tensor-Train compression for DLRM embeddings.
+
+Reproduction of Yin, Acun, Liu & Wu, "TT-Rec: Tensor Train Compression for
+Deep Learning Recommendation Model Embeddings", MLSys 2021 — implemented
+from scratch in NumPy (TT kernels, DLRM, LFU cache, data substrate,
+benchmark harness). See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import TTEmbeddingBag
+    emb = TTEmbeddingBag(num_rows=1_000_000, dim=16, rank=32, rng=0)
+    vectors = emb.lookup([3, 14, 15])           # (3, 16) rows
+    print(emb.compression_ratio())              # hundreds x
+
+    from repro import DLRMConfig, build_ttrec, TTConfig
+    from repro.data import KAGGLE, SyntheticCTRDataset
+    spec = KAGGLE.scaled(0.001)
+    model = build_ttrec(DLRMConfig(table_sizes=spec.table_sizes),
+                        num_tt_tables=7, tt=TTConfig(rank=32), min_rows=500)
+"""
+
+from repro.baselines import (
+    HashedEmbeddingBag,
+    LowRankEmbeddingBag,
+    QuantizedEmbeddingBag,
+    TREmbeddingBag,
+)
+from repro.cache import CachedTTEmbeddingBag, LFUTracker, OpenAddressingHashTable
+from repro.models import (
+    DLRM,
+    DLRMConfig,
+    TTConfig,
+    build_dlrm,
+    build_ttrec,
+    load_model,
+    save_model,
+)
+from repro.ops import SGD, Adagrad, EmbeddingBag, SparseSGD
+from repro.training import EvalResult, LRScheduler, Trainer, TrainResult
+from repro.tt import (
+    T3nsorEmbeddingBag,
+    TTEmbeddingBag,
+    TTShape,
+    tt_reconstruct,
+    tt_svd,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # TT core
+    "TTShape",
+    "TTEmbeddingBag",
+    "T3nsorEmbeddingBag",
+    "tt_svd",
+    "tt_reconstruct",
+    # baseline ops
+    "EmbeddingBag",
+    "SGD",
+    "SparseSGD",
+    "Adagrad",
+    # cache
+    "CachedTTEmbeddingBag",
+    "LFUTracker",
+    "OpenAddressingHashTable",
+    # model
+    "DLRM",
+    "DLRMConfig",
+    "TTConfig",
+    "build_dlrm",
+    "build_ttrec",
+    # training
+    "Trainer",
+    "TrainResult",
+    "EvalResult",
+    "LRScheduler",
+    # checkpointing
+    "save_model",
+    "load_model",
+    # compression baselines (related work)
+    "HashedEmbeddingBag",
+    "LowRankEmbeddingBag",
+    "QuantizedEmbeddingBag",
+    "TREmbeddingBag",
+]

@@ -1,0 +1,29 @@
+"""Pareto-frontier extraction for the design-space study (Fig. 1)."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import TypeVar
+
+__all__ = ["pareto_frontier"]
+
+T = TypeVar("T")
+
+
+def pareto_frontier(points: Sequence[T], *, cost: Callable[[T], float],
+                    value: Callable[[T], float]) -> list[T]:
+    """Points not dominated under (minimise ``cost``, maximise ``value``).
+
+    A point dominates another if it costs no more *and* is worth at least
+    as much, strictly better in one of the two. Returned in ascending cost
+    order — the black curve of Fig. 1.
+    """
+    ordered = sorted(points, key=lambda p: (cost(p), -value(p)))
+    frontier: list[T] = []
+    best = float("-inf")
+    for p in ordered:
+        v = value(p)
+        if v > best:
+            frontier.append(p)
+            best = v
+    return frontier

@@ -1,0 +1,117 @@
+"""Feature-hashing embedding (Weinberger et al. 2009) — collision baseline.
+
+Maps each of ``num_rows`` logical rows onto ``num_buckets << num_rows``
+physical rows via a mixing hash; optionally applies a sign hash so
+colliding rows partially cancel rather than add (the classic hashing-trick
+variance reduction). The paper's Related Work cites this as the seminal
+embedding-compression approach whose collisions cost accuracy at high
+compression — the behaviour the baseline bench quantifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.hashtable import splitmix64
+from repro.ops.embedding import EmbeddingBag, segment_sum
+from repro.ops.module import Module, Parameter
+from repro.utils.seeding import as_rng
+from repro.utils.validation import check_csr
+
+__all__ = ["HashedEmbeddingBag"]
+
+
+class HashedEmbeddingBag(Module):
+    """EmbeddingBag over a hashed, smaller physical table.
+
+    Parameters
+    ----------
+    num_rows:
+        Logical vocabulary size (what callers index with).
+    num_buckets:
+        Physical rows actually stored; compression ratio is
+        ``num_rows / num_buckets``.
+    signed:
+        Apply a ±1 sign hash per logical row (feature-hashing style) so
+        collisions cancel in expectation.
+    """
+
+    def __init__(self, num_rows: int, dim: int, num_buckets: int, *,
+                 mode: str = "sum", signed: bool = False, salt: int = 0,
+                 rng: int | None | np.random.Generator = None,
+                 name: str = "hashed_emb"):
+        if num_buckets < 1:
+            raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+        if num_buckets > num_rows:
+            raise ValueError(
+                f"num_buckets ({num_buckets}) exceeding num_rows ({num_rows}) "
+                "defeats the purpose of hashing"
+            )
+        self.num_rows = num_rows
+        self.dim = dim
+        self.num_buckets = num_buckets
+        self.signed = signed
+        self.salt = salt
+        self.table = EmbeddingBag(num_buckets, dim, mode=mode, rng=as_rng(rng),
+                                  name=f"{name}.table")
+        self.mode = mode
+        self._cache: tuple | None = None
+
+    # ------------------------------------------------------------------ #
+
+    def _hash(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray | None]:
+        mixed = splitmix64(indices + np.int64(self.salt * 0x9E3779B9))
+        buckets = (mixed % np.uint64(self.num_buckets)).astype(np.int64)
+        signs = None
+        if self.signed:
+            signs = np.where((mixed >> np.uint64(63)) & np.uint64(1), -1.0, 1.0)
+        return buckets, signs
+
+    def forward(self, indices: np.ndarray, offsets: np.ndarray | None = None,
+                per_sample_weights: np.ndarray | None = None) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        if offsets is None:
+            offsets = np.arange(indices.size + 1, dtype=np.int64)
+        indices, offsets = check_csr(indices, offsets, self.num_rows)
+        buckets, signs = self._hash(indices)
+        weights = per_sample_weights
+        if signs is not None:
+            w = np.ones(indices.size) if weights is None else np.asarray(
+                weights, dtype=np.float64).reshape(-1)
+            weights = w * signs
+        return self.table.forward(buckets, offsets, weights)
+
+    __call__ = forward
+
+    def backward(self, grad_out: np.ndarray) -> None:
+        self.table.backward(grad_out)
+
+    def lookup(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        buckets, signs = self._hash(indices)
+        rows = self.table.weight.data[buckets]
+        if signs is not None:
+            rows = rows * signs[:, None]
+        return rows
+
+    def num_parameters(self) -> int:
+        return self.num_buckets * self.dim
+
+    def compression_ratio(self) -> float:
+        return self.num_rows / self.num_buckets
+
+    def collision_rate(self, sample: int = 100_000,
+                       rng: int | None | np.random.Generator = None) -> float:
+        """Fraction of a uniform row sample whose bucket is shared.
+
+        Monte-Carlo estimate of ``P(two random rows collide | same bucket
+        occupancy)``; for a well-mixed hash this approaches the birthday
+        bound ``1 - num_buckets/num_rows``-ish occupancy collision rate.
+        """
+        rng = as_rng(rng)
+        n = min(sample, self.num_rows)
+        rows = rng.choice(self.num_rows, size=n, replace=False)
+        buckets, _ = self._hash(rows)
+        _, counts = np.unique(buckets, return_counts=True)
+        colliding = counts[counts > 1].sum()
+        return float(colliding / n)

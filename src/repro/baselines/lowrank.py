@@ -1,0 +1,113 @@
+"""Two-factor low-rank embedding (Ghaemmaghami et al. 2020 style).
+
+``W ~= A @ B`` with ``A: (num_rows, r)`` and ``B: (r, dim)``. A lookup is
+one small gather plus a ``(bag, r) @ (r, dim)`` GEMM, and the parameter
+count is ``num_rows*r + r*dim`` — so unlike TT, compression is capped at
+``dim / r`` and cannot reach the orders of magnitude TT offers at equal
+rank. The baseline bench shows exactly that ceiling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ops.embedding import segment_sum
+from repro.ops.module import Module, Parameter
+from repro.utils.seeding import as_rng
+from repro.utils.validation import check_csr
+
+__all__ = ["LowRankEmbeddingBag"]
+
+
+class LowRankEmbeddingBag(Module):
+    """Pooled embedding lookup through a rank-``r`` factorization."""
+
+    def __init__(self, num_rows: int, dim: int, rank: int, *, mode: str = "sum",
+                 rng: int | None | np.random.Generator = None,
+                 name: str = "lowrank_emb"):
+        if rank < 1:
+            raise ValueError(f"rank must be >= 1, got {rank}")
+        if rank > dim:
+            raise ValueError(
+                f"rank ({rank}) above dim ({dim}) stores more than the dense table"
+            )
+        if mode not in ("sum", "mean"):
+            raise ValueError(f"mode must be 'sum' or 'mean', got {mode!r}")
+        rng = as_rng(rng)
+        self.num_rows = num_rows
+        self.dim = dim
+        self.rank = rank
+        self.mode = mode
+        # Scale so W = A @ B matches the DLRM default Uniform(±1/sqrt(M))
+        # variance: Var(W_ij) = rank * var_a * var_b = 1/(3M).
+        entry_std = (1.0 / (3.0 * num_rows * rank)) ** 0.25
+        self.factor_a = Parameter(
+            rng.normal(0.0, entry_std, size=(num_rows, rank)),
+            name=f"{name}.A", sparse=True,
+        )
+        self.factor_b = Parameter(
+            rng.normal(0.0, entry_std, size=(rank, dim)), name=f"{name}.B"
+        )
+        self._cache: dict | None = None
+
+    def forward(self, indices: np.ndarray, offsets: np.ndarray | None = None,
+                per_sample_weights: np.ndarray | None = None) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        if offsets is None:
+            offsets = np.arange(indices.size + 1, dtype=np.int64)
+        indices, offsets = check_csr(indices, offsets, self.num_rows)
+        alpha = None
+        if per_sample_weights is not None:
+            alpha = np.asarray(per_sample_weights, dtype=np.float64).reshape(-1)
+            if alpha.shape[0] != indices.shape[0]:
+                raise ValueError("per_sample_weights must match indices in length")
+        a_rows = self.factor_a.data[indices]  # (n, r)
+        weighted = a_rows if alpha is None else a_rows * alpha[:, None]
+        # Pool in factor space first (r << dim), then one GEMM per batch.
+        pooled_a = segment_sum(weighted, offsets)  # (m, r)
+        counts = np.diff(offsets)
+        if self.mode == "mean":
+            scale = np.where(counts > 0, counts, 1).astype(np.float64)
+            pooled_a = pooled_a / scale[:, None]
+        out = pooled_a @ self.factor_b.data
+        self._cache = {
+            "indices": indices, "offsets": offsets, "alpha": alpha,
+            "counts": counts, "pooled_a": pooled_a,
+        }
+        return out
+
+    __call__ = forward
+
+    def backward(self, grad_out: np.ndarray) -> None:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        c = self._cache
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        # dB = pooled_a^T dO
+        self.factor_b.grad += c["pooled_a"].T @ grad_out
+        # d pooled_a = dO B^T, then un-pool to per-index gradients.
+        grad_pooled = grad_out @ self.factor_b.data.T  # (m, r)
+        counts = c["counts"]
+        if self.mode == "mean":
+            scale = np.where(counts > 0, counts, 1).astype(np.float64)
+            grad_pooled = grad_pooled / scale[:, None]
+        bag_ids = np.repeat(np.arange(len(counts)), counts)
+        grad_rows = grad_pooled[bag_ids]
+        if c["alpha"] is not None:
+            grad_rows = grad_rows * c["alpha"][:, None]
+        np.add.at(self.factor_a.grad, c["indices"], grad_rows)
+        self.factor_a.record_touched(c["indices"])
+
+    def lookup(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        return self.factor_a.data[indices] @ self.factor_b.data
+
+    def materialize(self) -> np.ndarray:
+        """Dense ``num_rows x dim`` table (analysis only)."""
+        return self.factor_a.data @ self.factor_b.data
+
+    def num_parameters(self) -> int:
+        return self.factor_a.size + self.factor_b.size
+
+    def compression_ratio(self) -> float:
+        return (self.num_rows * self.dim) / self.num_parameters()

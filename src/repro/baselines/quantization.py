@@ -1,0 +1,130 @@
+"""Post-training row-wise uniform quantization (Guan et al. 2019).
+
+Compresses a *trained* dense table to ``bits``-wide integer codes with a
+per-row scale and zero-point — the 4-bit scheme the paper's Related Work
+cites as the quantization approach for recommendation inference. Like the
+original, this operator is inference-only: ``backward`` raises, because
+training through a quantizer needs STE machinery the cited work does not
+use for embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ops.embedding import segment_sum
+from repro.ops.module import Module
+from repro.utils.validation import check_csr
+
+__all__ = ["quantize_rows", "dequantize_rows", "QuantizedEmbeddingBag"]
+
+
+def quantize_rows(table: np.ndarray, bits: int = 4
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-wise affine quantization: ``codes, scales, zero_points``.
+
+    Each row is mapped to ``round((x - min) / scale)`` with
+    ``scale = (max - min) / (2^bits - 1)``; constant rows get scale 0 and
+    decode exactly.
+    """
+    if not (1 <= bits <= 16):
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
+    table = np.asarray(table, dtype=np.float64)
+    if table.ndim != 2:
+        raise ValueError(f"table must be 2-D, got shape {table.shape}")
+    levels = (1 << bits) - 1
+    mins = table.min(axis=1)
+    maxs = table.max(axis=1)
+    scales = (maxs - mins) / levels
+    safe = np.where(scales > 0, scales, 1.0)
+    codes = np.rint((table - mins[:, None]) / safe[:, None])
+    codes = np.clip(codes, 0, levels)
+    dtype = np.uint8 if bits <= 8 else np.uint16
+    return codes.astype(dtype), scales, mins
+
+
+def dequantize_rows(codes: np.ndarray, scales: np.ndarray,
+                    zero_points: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`quantize_rows` (up to quantization error)."""
+    return codes.astype(np.float64) * scales[:, None] + zero_points[:, None]
+
+
+class QuantizedEmbeddingBag(Module):
+    """Inference-only EmbeddingBag over a quantized table.
+
+    Construct from a trained dense table (``from_dense``) — matching the
+    post-training workflow of the cited scheme.
+    """
+
+    def __init__(self, codes: np.ndarray, scales: np.ndarray,
+                 zero_points: np.ndarray, bits: int, *, mode: str = "sum"):
+        if mode not in ("sum", "mean"):
+            raise ValueError(f"mode must be 'sum' or 'mean', got {mode!r}")
+        if codes.ndim != 2:
+            raise ValueError(f"codes must be 2-D, got {codes.shape}")
+        if scales.shape != (codes.shape[0],) or zero_points.shape != (codes.shape[0],):
+            raise ValueError("scales/zero_points must be per-row vectors")
+        self.codes = codes
+        self.scales = np.asarray(scales, dtype=np.float64)
+        self.zero_points = np.asarray(zero_points, dtype=np.float64)
+        self.bits = bits
+        self.mode = mode
+        self.num_rows, self.dim = codes.shape
+
+    @classmethod
+    def from_dense(cls, table: np.ndarray, *, bits: int = 4,
+                   mode: str = "sum") -> "QuantizedEmbeddingBag":
+        codes, scales, zero_points = quantize_rows(table, bits)
+        return cls(codes, scales, zero_points, bits, mode=mode)
+
+    def lookup(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        return dequantize_rows(
+            self.codes[indices], self.scales[indices], self.zero_points[indices]
+        )
+
+    def forward(self, indices: np.ndarray, offsets: np.ndarray | None = None,
+                per_sample_weights: np.ndarray | None = None) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        if offsets is None:
+            offsets = np.arange(indices.size + 1, dtype=np.int64)
+        indices, offsets = check_csr(indices, offsets, self.num_rows)
+        rows = self.lookup(indices)
+        if per_sample_weights is not None:
+            alpha = np.asarray(per_sample_weights, dtype=np.float64).reshape(-1)
+            if alpha.shape[0] != indices.shape[0]:
+                raise ValueError("per_sample_weights must match indices in length")
+            rows = rows * alpha[:, None]
+        out = segment_sum(rows, offsets)
+        if self.mode == "mean":
+            counts = np.diff(offsets)
+            scale = np.where(counts > 0, counts, 1).astype(np.float64)
+            out = out / scale[:, None]
+        return out
+
+    __call__ = forward
+
+    def backward(self, grad_out: np.ndarray) -> None:
+        raise NotImplementedError(
+            "QuantizedEmbeddingBag is inference-only (post-training "
+            "quantization, Guan et al. 2019); train a dense or TT table and "
+            "quantize it with from_dense()"
+        )
+
+    def num_parameters(self) -> int:
+        """Effective fp32-equivalent parameter count (for fair comparison).
+
+        Codes cost ``bits/32`` of a float each; scales and zero-points cost
+        one float per row apiece.
+        """
+        code_floats = self.codes.size * self.bits / 32.0
+        return int(np.ceil(code_floats + 2 * self.num_rows))
+
+    def compression_ratio(self) -> float:
+        return (self.num_rows * self.dim) / self.num_parameters()
+
+    def reconstruction_error(self, table: np.ndarray) -> float:
+        """Max |dequantized - original| against the source dense table."""
+        table = np.asarray(table, dtype=np.float64)
+        approx = dequantize_rows(self.codes, self.scales, self.zero_points)
+        return float(np.abs(approx - table).max())

@@ -1,0 +1,16 @@
+"""Benchmark harness: workload generators and result reporting."""
+
+from repro.bench.reporting import format_series, format_table
+from repro.bench.workloads import (
+    controlled_hitrate_workload,
+    pooling_workload,
+    uniform_workload,
+)
+
+__all__ = [
+    "pooling_workload",
+    "uniform_workload",
+    "controlled_hitrate_workload",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,57 @@
+"""Plain-text table/series formatting for benchmark output.
+
+The benchmark harness prints the same rows and series the paper's tables
+and figures report; these helpers keep that output aligned and uniform
+without pulling in a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], *,
+                 title: str | None = None, float_fmt: str = "{:.4g}") -> str:
+    """Render rows as a fixed-width text table."""
+    def cell(v) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        for i, v in enumerate(row):
+            widths[i] = max(widths[i], len(v))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence, *,
+                  x_label: str = "x", y_label: str = "y",
+                  float_fmt: str = "{:.4g}") -> str:
+    """Render one figure series as aligned (x, y) pairs."""
+    if len(xs) != len(ys):
+        raise ValueError(f"xs ({len(xs)}) and ys ({len(ys)}) lengths differ")
+
+    def cell(v) -> str:
+        return float_fmt.format(v) if isinstance(v, float) else str(v)
+
+    lines = [f"series: {name}"]
+    xw = max([len(x_label)] + [len(cell(x)) for x in xs])
+    lines.append(f"  {x_label.ljust(xw)}  {y_label}")
+    for x, y in zip(xs, ys):
+        lines.append(f"  {cell(x).ljust(xw)}  {cell(y)}")
+    return "\n".join(lines)

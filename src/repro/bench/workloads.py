@@ -1,0 +1,88 @@
+"""Synthetic lookup workloads for the kernel microbenchmarks (§6.6).
+
+Three generators cover the paper's timing experiments:
+
+- :func:`pooling_workload` — Zipf traffic with pooling factor ``P``
+  (Fig. 11: P in {1, 10, 100});
+- :func:`uniform_workload` — uniform traffic (kernel-efficiency sweeps,
+  Fig. 8);
+- :func:`controlled_hitrate_workload` — indices drawn so that an exact
+  target fraction hits a given cached set (Fig. 12's x-axis).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.batching import make_offsets
+from repro.data.zipf import ZipfSampler
+from repro.utils.seeding import as_rng
+
+__all__ = ["pooling_workload", "uniform_workload", "controlled_hitrate_workload"]
+
+
+def pooling_workload(num_rows: int, batch_size: int, pooling_factor: int, *,
+                     zipf_s: float = 1.05,
+                     rng: int | None | np.random.Generator = None
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """``(indices, offsets)`` with exactly ``pooling_factor`` lookups per bag."""
+    if pooling_factor < 1:
+        raise ValueError(f"pooling_factor must be >= 1, got {pooling_factor}")
+    rng = as_rng(rng)
+    sampler = ZipfSampler(num_rows, zipf_s, rng=rng)
+    indices = sampler.sample(batch_size * pooling_factor)
+    offsets = make_offsets(np.full(batch_size, pooling_factor, dtype=np.int64))
+    return indices, offsets
+
+
+def uniform_workload(num_rows: int, batch_size: int, *, pooling_factor: int = 1,
+                     rng: int | None | np.random.Generator = None
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """``(indices, offsets)`` with uniformly-random indices."""
+    rng = as_rng(rng)
+    indices = rng.integers(0, num_rows, size=batch_size * pooling_factor)
+    offsets = make_offsets(np.full(batch_size, pooling_factor, dtype=np.int64))
+    return indices, offsets
+
+
+def controlled_hitrate_workload(num_rows: int, batch_size: int, *,
+                                cached_ids: np.ndarray, hit_rate: float,
+                                pooling_factor: int = 1,
+                                rng: int | None | np.random.Generator = None
+                                ) -> tuple[np.ndarray, np.ndarray]:
+    """Workload whose indices hit ``cached_ids`` at an exact target rate.
+
+    Each lookup is a cached id with probability ``hit_rate`` (drawn
+    uniformly from the cached set) and a non-cached id otherwise. The
+    realised hit count is fixed (not merely expected) so benchmark runs
+    are comparable: exactly ``round(hit_rate * n)`` lookups hit.
+    """
+    if not (0.0 <= hit_rate <= 1.0):
+        raise ValueError(f"hit_rate must be in [0, 1], got {hit_rate}")
+    rng = as_rng(rng)
+    cached_ids = np.asarray(cached_ids, dtype=np.int64)
+    if cached_ids.size == 0 and hit_rate > 0:
+        raise ValueError("cannot target a positive hit rate with an empty cache")
+    n = batch_size * pooling_factor
+    n_hits = int(round(hit_rate * n))
+    mask = np.zeros(n, dtype=bool)
+    mask[rng.choice(n, size=n_hits, replace=False)] = True
+
+    indices = np.empty(n, dtype=np.int64)
+    if n_hits:
+        indices[mask] = rng.choice(cached_ids, size=n_hits, replace=True)
+    n_miss = n - n_hits
+    if n_miss:
+        cached_set = np.sort(cached_ids)
+        misses = np.empty(0, dtype=np.int64)
+        if cached_set.size >= num_rows:
+            raise ValueError("cache covers every row; misses are impossible")
+        while misses.size < n_miss:
+            draw = rng.integers(0, num_rows, size=2 * (n_miss - misses.size) + 8)
+            if cached_set.size:
+                pos = np.minimum(np.searchsorted(cached_set, draw), cached_set.size - 1)
+                draw = draw[cached_set[pos] != draw]
+            misses = np.concatenate([misses, draw])
+        indices[~mask] = misses[:n_miss]
+    offsets = make_offsets(np.full(batch_size, pooling_factor, dtype=np.int64))
+    return indices, offsets

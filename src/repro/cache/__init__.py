@@ -1,0 +1,17 @@
+"""LFU caching for TT-Rec (paper §4.2, Fig. 4).
+
+- :class:`~repro.cache.hashtable.OpenAddressingHashTable` — the frequency
+  tracker the paper specifies ("an open addressing hash table is used to
+  track the frequencies of all the existing indices").
+- :class:`~repro.cache.lfu.LFUTracker` — top-k-by-frequency selection with
+  LFU/LRU/static policies (policy ablation).
+- :class:`~repro.cache.cached_embedding.CachedTTEmbeddingBag` — the hybrid
+  operator: hot rows served from an uncompressed cache and updated densely,
+  cold rows served from TT cores (multi-stage training of Fig. 4).
+"""
+
+from repro.cache.cached_embedding import CachedTTEmbeddingBag
+from repro.cache.hashtable import OpenAddressingHashTable
+from repro.cache.lfu import LFUTracker
+
+__all__ = ["OpenAddressingHashTable", "LFUTracker", "CachedTTEmbeddingBag"]

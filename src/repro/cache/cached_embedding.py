@@ -1,0 +1,274 @@
+"""CachedTTEmbeddingBag: TT cores + uncompressed LFU cache (paper §4.2).
+
+The hybrid operator behind TT-Rec's training-time story (Fig. 4):
+
+1. **Warm-up stage** — all lookups go through the TT cores while the LFU
+   tracker accumulates row frequencies.
+2. **Population** — after ``warmup_steps`` batches (and then every
+   ``refresh_interval`` batches: the "semi-dynamic" cache), the top
+   ``cache_size`` rows are copied *uncompressed* into the cache, their
+   values materialised from the current TT cores. Rows evicted on refresh
+   simply drop their dense updates (the paper argues decomposing them back
+   into the cores online is an open streaming-TT problem and empirically
+   unnecessary).
+3. **Hybrid stage** — each batch's indices are partitioned into
+   ``cached_indices`` (served and updated densely: ``W' = W + dL/dW``) and
+   ``tt_indices`` (TT chain + Algorithm 2 gradients). The two weight sets
+   are learned separately from that point on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.lfu import LFUTracker
+from repro.ops.embedding import segment_sum
+from repro.ops.module import Module, Parameter
+from repro.tt.embedding_bag import TTEmbeddingBag
+from repro.tt.shapes import TTShape
+from repro.utils.seeding import as_rng
+from repro.utils.validation import check_csr
+
+__all__ = ["CachedTTEmbeddingBag"]
+
+
+class CachedTTEmbeddingBag(Module):
+    """TT-compressed embedding bag with an uncompressed hot-row cache.
+
+    Parameters
+    ----------
+    num_rows, dim, shape, rank, d, mode, initializer, rng:
+        Forwarded to the underlying :class:`TTEmbeddingBag`.
+    cache_size:
+        Number of uncompressed rows held. May also be given as
+        ``cache_fraction`` (fraction of ``num_rows``; the paper finds
+        0.01% sufficient — §6.5).
+    warmup_steps:
+        Batches observed before the first cache population. 0 populates on
+        the first ``maybe_refresh``/``end_warmup`` call.
+    refresh_interval:
+        Re-populate every this many batches after warm-up ("every 100s to
+        1000s of iterations" in the paper). ``None`` disables refresh
+        (populate once).
+    policy:
+        Victim-selection policy for the tracker (``lfu``/``lru``/``static``).
+    eviction:
+        What happens to an evicted row's dense updates: ``"discard"`` (the
+        paper's choice — §4.2 argues absorbing them is a hard streaming-TT
+        problem) or ``"absorb"`` (write the learned values back into the
+        TT cores with a few damped least-squares steps;
+        :func:`repro.tt.writeback.absorb_rows`).
+    """
+
+    def __init__(self, num_rows: int, dim: int, *, shape: TTShape | None = None,
+                 rank: int = 32, d: int = 3, mode: str = "sum",
+                 initializer="sampled_gaussian",
+                 rng: int | None | np.random.Generator = None,
+                 cache_size: int | None = None, cache_fraction: float | None = None,
+                 warmup_steps: int = 100, refresh_interval: int | None = 1000,
+                 policy: str = "lfu", eviction: str = "discard",
+                 name: str = "cached_tt_emb"):
+        rng = as_rng(rng)
+        self.tt = TTEmbeddingBag(
+            num_rows, dim, shape=shape, rank=rank, d=d, mode=mode,
+            initializer=initializer, rng=rng, name=f"{name}.tt",
+        )
+        self.num_rows = num_rows
+        self.dim = dim
+        self.mode = mode
+        if cache_size is None:
+            if cache_fraction is None:
+                cache_fraction = 1e-4  # the paper's 0.01%
+            if not (0.0 < cache_fraction <= 1.0):
+                raise ValueError(f"cache_fraction must be in (0, 1], got {cache_fraction}")
+            cache_size = max(1, int(round(num_rows * cache_fraction)))
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        self.cache_size = min(cache_size, num_rows)
+        if warmup_steps < 0:
+            raise ValueError(f"warmup_steps must be >= 0, got {warmup_steps}")
+        if refresh_interval is not None and refresh_interval < 1:
+            raise ValueError(f"refresh_interval must be >= 1, got {refresh_interval}")
+        if eviction not in ("discard", "absorb"):
+            raise ValueError(f"eviction must be 'discard' or 'absorb', got {eviction!r}")
+        self.eviction = eviction
+        self.warmup_steps = warmup_steps
+        self.refresh_interval = refresh_interval
+        self.tracker = LFUTracker(policy=policy)
+        self.cache_rows = Parameter(
+            np.zeros((self.cache_size, dim)), name=f"{name}.cache", sparse=True
+        )
+        # Sorted row-id array for O(log k) vectorized membership tests;
+        # _cache_slot[i] is the cache row holding table row _cached_ids[i].
+        self._cached_ids = np.empty(0, dtype=np.int64)
+        self._cache_slot = np.empty(0, dtype=np.int64)
+        self._steps = 0
+        self._populated = False
+        self._cache: dict | None = None
+        # Cumulative hit statistics (Fig. 10 / Fig. 12 instrumentation).
+        self.lookups = 0
+        self.hits = 0
+
+    # ------------------------------------------------------------------ #
+    # Cache management
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_warm(self) -> bool:
+        return self._populated
+
+    def hit_rate(self) -> float:
+        """Cumulative cache hit rate since construction."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def _membership(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(is_cached_mask, cache_slots)`` for each index."""
+        if self._cached_ids.size == 0:
+            return np.zeros(indices.shape, dtype=bool), np.empty(0, dtype=np.int64)
+        pos = np.searchsorted(self._cached_ids, indices)
+        pos = np.minimum(pos, self._cached_ids.size - 1)
+        mask = self._cached_ids[pos] == indices
+        return mask, self._cache_slot[pos[mask]]
+
+    def populate(self) -> dict:
+        """(Re)build the cache from the tracker's current top-k rows.
+
+        New rows are materialised from the TT cores; rows surviving a
+        refresh keep their dense weights; evicted rows' dense updates are
+        discarded (paper §4.2) or absorbed into the cores, per the
+        ``eviction`` setting. Returns population stats.
+        """
+        hot = np.sort(self.tracker.top_k(self.cache_size))
+        if hot.size == 0:
+            return {"inserted": 0, "kept": 0, "evicted": 0}
+        old_ids = self._cached_ids
+        kept_mask = np.isin(hot, old_ids, assume_unique=True)
+        kept = hot[kept_mask]
+        new = hot[~kept_mask]
+        evicted_ids = np.setdiff1d(old_ids, kept, assume_unique=True)
+        evicted = int(evicted_ids.size)
+        if self.eviction == "absorb" and evicted_ids.size:
+            from repro.tt.writeback import absorb_rows
+
+            _, old_slots = self._membership(evicted_ids)
+            absorb_rows(self.tt, evicted_ids,
+                        self.cache_rows.data[old_slots], steps=10, lr=0.5)
+
+        values = np.zeros((hot.size, self.dim))
+        if kept.size:
+            old_mask, old_slots = self._membership(kept)
+            assert old_mask.all()
+            values[kept_mask] = self.cache_rows.data[old_slots]
+        if new.size:
+            values[~kept_mask] = self.tt.lookup(new)
+        self.cache_rows.data[: hot.size] = values
+        self._cached_ids = hot
+        self._cache_slot = np.arange(hot.size, dtype=np.int64)
+        self._populated = True
+        if self.tracker.policy == "static":
+            self.tracker.freeze()
+        return {"inserted": int(new.size), "kept": int(kept.size), "evicted": evicted}
+
+    def maybe_refresh(self) -> dict | None:
+        """Apply the Fig. 4 schedule; called automatically by ``forward``."""
+        if not self._populated:
+            if self._steps >= self.warmup_steps:
+                return self.populate()
+            return None
+        if self.refresh_interval is not None and self._steps % self.refresh_interval == 0:
+            return self.populate()
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Forward / backward
+    # ------------------------------------------------------------------ #
+
+    def forward(self, indices: np.ndarray, offsets: np.ndarray | None = None,
+                per_sample_weights: np.ndarray | None = None) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        if offsets is None:
+            offsets = np.arange(indices.size + 1, dtype=np.int64)
+        indices, offsets = check_csr(indices, offsets, self.num_rows)
+        alpha = None
+        if per_sample_weights is not None:
+            alpha = np.asarray(per_sample_weights, dtype=np.float64).reshape(-1)
+            if alpha.shape[0] != indices.shape[0]:
+                raise ValueError("per_sample_weights must match indices in length")
+
+        self._steps += 1
+        self.tracker.record(indices)
+        self.maybe_refresh()
+
+        mask, slots = self._membership(indices)
+        self.lookups += indices.size
+        self.hits += int(mask.sum())
+
+        rows = np.empty((indices.size, self.dim))
+        if mask.any():
+            rows[mask] = self.cache_rows.data[slots]
+        tt_idx = indices[~mask]
+        if tt_idx.size:
+            decoded = self.tt.shape.decode_indices(tt_idx)
+            tt_rows, lefts = self.tt._row_chain(decoded)
+            rows[~mask] = tt_rows
+        else:
+            decoded, lefts = None, None
+
+        weighted = rows if alpha is None else rows * alpha[:, None]
+        out = segment_sum(weighted, offsets)
+        counts = np.diff(offsets)
+        if self.mode == "mean":
+            scale = np.where(counts > 0, counts, 1).astype(np.float64)
+            out = out / scale[:, None]
+        self._cache = {
+            "mask": mask, "slots": slots, "decoded": decoded,
+            "lefts": lefts if self.tt.store_intermediates else None,
+            "alpha": alpha, "counts": counts,
+        }
+        return out
+
+    __call__ = forward
+
+    def backward(self, grad_out: np.ndarray) -> None:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        c = self._cache
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        counts = c["counts"]
+        if self.mode == "mean":
+            scale = np.where(counts > 0, counts, 1).astype(np.float64)
+            grad_out = grad_out / scale[:, None]
+        bag_ids = np.repeat(np.arange(len(counts)), counts)
+        grad_rows = grad_out[bag_ids]
+        if c["alpha"] is not None:
+            grad_rows = grad_rows * c["alpha"][:, None]
+
+        mask = c["mask"]
+        if mask.any():
+            np.add.at(self.cache_rows.grad, c["slots"], grad_rows[mask])
+            self.cache_rows.record_touched(c["slots"])
+        if c["decoded"] is not None:
+            lefts = c["lefts"]
+            if lefts is None:
+                _, lefts = self.tt._row_chain(c["decoded"])
+            self.tt._accumulate_core_grads(c["decoded"], grad_rows[~mask], lefts)
+
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, indices: np.ndarray) -> np.ndarray:
+        """Row materialisation honouring the cache (no stats, no backward)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        mask, slots = self._membership(indices)
+        rows = np.empty((indices.size, self.dim))
+        if mask.any():
+            rows[mask] = self.cache_rows.data[slots]
+        if (~mask).any():
+            rows[~mask] = self.tt.lookup(indices[~mask])
+        return rows
+
+    def num_parameters(self) -> int:
+        """TT params + cache rows (the cache counts toward the budget)."""
+        return self.tt.num_parameters() + self.cache_rows.size
+
+    def compression_ratio(self) -> float:
+        return (self.num_rows * self.dim) / self.num_parameters()

@@ -1,0 +1,35 @@
+"""Datasets: exact Criteo specs, Zipf samplers, synthetic CTR generation.
+
+Real Criteo Kaggle/Terabyte click logs cannot be redistributed or fetched
+offline; :mod:`repro.data.synthetic` generates Criteo-*shaped* data (same
+feature layout, exact table cardinalities, Zipf-distributed categorical
+traffic, a planted logistic ground truth) and :mod:`repro.data.criteo`
+parses the real TSV files if the user supplies them.
+"""
+
+from repro.data.batching import Batch, make_offsets
+from repro.data.criteo import CriteoTSVReader, scan_criteo_tsv
+from repro.data.datasets import FixedDataset, materialize
+from repro.data.specs import (
+    KAGGLE,
+    PAPER_KAGGLE_TT_SHAPES,
+    TERABYTE,
+    DatasetSpec,
+)
+from repro.data.synthetic import SyntheticCTRDataset
+from repro.data.zipf import ZipfSampler
+
+__all__ = [
+    "DatasetSpec",
+    "KAGGLE",
+    "TERABYTE",
+    "PAPER_KAGGLE_TT_SHAPES",
+    "ZipfSampler",
+    "SyntheticCTRDataset",
+    "Batch",
+    "make_offsets",
+    "CriteoTSVReader",
+    "scan_criteo_tsv",
+    "FixedDataset",
+    "materialize",
+]

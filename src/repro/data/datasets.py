@@ -1,0 +1,135 @@
+"""Finite, epoch-style datasets materialised from a sample stream.
+
+Criteo training is epoch-based ("we train TT-Rec for a single epoch using
+all the data samples", §5); the synthetic generator streams forever. This
+module bridges the two: :func:`materialize` draws a fixed corpus from any
+batch stream, and :class:`FixedDataset` replays it in shuffled epochs with
+a deterministic train/test split — enabling exact epoch semantics,
+fixed validation sets, and memorisation sanity checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.batching import Batch, make_offsets
+from repro.utils.seeding import as_rng
+
+__all__ = ["FixedDataset", "materialize"]
+
+
+class FixedDataset:
+    """An in-memory corpus of CTR samples with epoch iteration.
+
+    Samples are stored row-wise (dense matrix, per-table index lists with
+    per-sample bag sizes, labels) so arbitrary subsets/permutations can be
+    re-batched exactly.
+    """
+
+    def __init__(self, dense: np.ndarray, table_indices: list[np.ndarray],
+                 table_offsets: list[np.ndarray], labels: np.ndarray):
+        self.dense = np.asarray(dense, dtype=np.float64)
+        n = self.dense.shape[0]
+        if labels.shape[0] != n:
+            raise ValueError("labels and dense row counts differ")
+        for t, (idx, off) in enumerate(zip(table_indices, table_offsets)):
+            if off.shape[0] != n + 1:
+                raise ValueError(f"table {t}: offsets must have {n + 1} entries")
+            if off[-1] != idx.shape[0]:
+                raise ValueError(f"table {t}: offsets[-1] != len(indices)")
+        self.table_indices = [np.asarray(i, dtype=np.int64) for i in table_indices]
+        self.table_offsets = [np.asarray(o, dtype=np.int64) for o in table_offsets]
+        self.labels = np.asarray(labels, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return int(self.dense.shape[0])
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.table_indices)
+
+    # ------------------------------------------------------------------ #
+
+    def subset(self, rows: np.ndarray) -> "FixedDataset":
+        """New dataset holding the given sample rows (any order, repeats ok)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        table_indices, table_offsets = [], []
+        for idx, off in zip(self.table_indices, self.table_offsets):
+            counts = np.diff(off)[rows]
+            new_off = make_offsets(counts)
+            gathered = np.concatenate(
+                [idx[off[r]:off[r + 1]] for r in rows]
+            ) if rows.size else np.empty(0, dtype=np.int64)
+            table_indices.append(gathered)
+            table_offsets.append(new_off)
+        return FixedDataset(self.dense[rows], table_indices, table_offsets,
+                            self.labels[rows])
+
+    def split(self, test_fraction: float, *, rng=0
+              ) -> tuple["FixedDataset", "FixedDataset"]:
+        """Deterministic shuffled (train, test) split."""
+        if not (0.0 < test_fraction < 1.0):
+            raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+        order = as_rng(rng).permutation(len(self))
+        n_test = max(1, int(round(test_fraction * len(self))))
+        return self.subset(order[n_test:]), self.subset(order[:n_test])
+
+    def batches(self, batch_size: int, *, shuffle: bool = True, rng=0,
+                drop_last: bool = False):
+        """One epoch of mini-batches."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        order = (as_rng(rng).permutation(len(self)) if shuffle
+                 else np.arange(len(self)))
+        for start in range(0, len(self), batch_size):
+            rows = order[start:start + batch_size]
+            if drop_last and rows.size < batch_size:
+                break
+            sub = self.subset(rows)
+            yield Batch(
+                dense=sub.dense,
+                sparse=list(zip(sub.table_indices, sub.table_offsets)),
+                labels=sub.labels,
+            )
+
+    def epochs(self, batch_size: int, num_epochs: int, *, rng=0):
+        """Stream ``num_epochs`` shuffled passes (fresh shuffle per epoch)."""
+        rng = as_rng(rng)
+        for _ in range(num_epochs):
+            yield from self.batches(batch_size, shuffle=True, rng=rng)
+
+
+def materialize(stream_batches, num_samples: int) -> FixedDataset:
+    """Collect a fixed corpus from an iterable of :class:`Batch` objects.
+
+    Consumes batches until ``num_samples`` rows are gathered (the final
+    batch is truncated as needed).
+    """
+    if num_samples < 1:
+        raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+    dense_parts, label_parts = [], []
+    idx_parts: list[list[np.ndarray]] | None = None
+    count_parts: list[list[np.ndarray]] | None = None
+    collected = 0
+    for batch in stream_batches:
+        take = min(batch.size, num_samples - collected)
+        dense_parts.append(batch.dense[:take])
+        label_parts.append(batch.labels[:take])
+        if idx_parts is None:
+            idx_parts = [[] for _ in batch.sparse]
+            count_parts = [[] for _ in batch.sparse]
+        for t, (idx, off) in enumerate(batch.sparse):
+            idx_parts[t].append(idx[:off[take]])
+            count_parts[t].append(np.diff(off)[:take])
+        collected += take
+        if collected >= num_samples:
+            break
+    if collected < num_samples:
+        raise ValueError(
+            f"stream exhausted after {collected} samples, needed {num_samples}"
+        )
+    assert idx_parts is not None and count_parts is not None
+    table_indices = [np.concatenate(parts) for parts in idx_parts]
+    table_offsets = [make_offsets(np.concatenate(parts)) for parts in count_parts]
+    return FixedDataset(np.vstack(dense_parts), table_indices, table_offsets,
+                        np.concatenate(label_parts))

@@ -1,0 +1,117 @@
+"""Bounded Zipf sampling for categorical feature traffic.
+
+Industry recommendation traffic follows a Power/Zipf law (paper §3.1,
+citing Wu et al. 2020): a small set of rows receives most accesses. The
+sampler here draws from ``P(rank r) ∝ 1/(r+1)^s`` over a bounded support
+``[0, n)``, with an optional permutation so the hot rows are not simply the
+lowest ids (matching real hashed categorical ids).
+
+The class also exposes the analytics the cache experiments rely on:
+``top_k_mass(k)`` — the fraction of traffic captured by the ``k`` hottest
+rows — which is the *expected cache hit rate* of a perfectly-warmed
+k-row LFU cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.seeding import as_rng
+
+__all__ = ["ZipfSampler"]
+
+
+class ZipfSampler:
+    """Draw row ids from a bounded Zipf distribution.
+
+    Parameters
+    ----------
+    n:
+        Support size (number of table rows).
+    s:
+        Zipf exponent; 0 = uniform, ~1.05 is typical of the large Criteo
+        tables.
+    permute:
+        Shuffle the rank-to-id mapping so hot ids are scattered.
+    rng:
+        Seed or generator for both the permutation and the draws.
+    """
+
+    def __init__(self, n: int, s: float = 1.05, *, permute: bool = True,
+                 rng: int | None | np.random.Generator = None):
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if s < 0:
+            raise ValueError(f"s must be >= 0, got {s}")
+        self.n = n
+        self.s = s
+        self._rng = as_rng(rng)
+        weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), s)
+        self._pmf_by_rank = weights / weights.sum()
+        self._cdf = np.cumsum(self._pmf_by_rank)
+        self._cdf[-1] = 1.0  # guard against float drift at the boundary
+        if permute:
+            self._rank_to_id = self._rng.permutation(n).astype(np.int64)
+        else:
+            self._rank_to_id = np.arange(n, dtype=np.int64)
+
+    def sample(self, size: int) -> np.ndarray:
+        """Draw ``size`` ids (inverse-CDF; O(size log n))."""
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        u = self._rng.random(size)
+        ranks = np.searchsorted(self._cdf, u, side="right")
+        return self._rank_to_id[ranks]
+
+    def pmf(self) -> np.ndarray:
+        """Probability of each *id* (permutation applied)."""
+        out = np.empty(self.n)
+        out[self._rank_to_id] = self._pmf_by_rank
+        return out
+
+    def hottest(self, k: int) -> np.ndarray:
+        """The ``k`` most probable ids, hottest first."""
+        k = min(max(k, 0), self.n)
+        return self._rank_to_id[:k]
+
+    def top_k_mass(self, k: int) -> float:
+        """Traffic fraction captured by the ``k`` hottest rows.
+
+        Equals the steady-state hit rate of a k-row cache holding exactly
+        the hottest rows — the analytic backbone of Fig. 10(b)/Fig. 12.
+        """
+        k = min(max(k, 0), self.n)
+        return float(self._pmf_by_rank[:k].sum())
+
+    def rank_for_mass(self, mass: float) -> int:
+        """Smallest ``k`` with ``top_k_mass(k) >= mass`` (inverse of above)."""
+        if not (0.0 <= mass <= 1.0):
+            raise ValueError(f"mass must be in [0, 1], got {mass}")
+        return int(np.searchsorted(self._cdf, mass, side="left")) + 1
+
+    def drift(self, fraction: float) -> None:
+        """Shift the hot set: swap a fraction of the rank-to-id mapping.
+
+        Models the slow non-stationarity of production traffic (new items
+        becoming popular) that motivates the paper's *semi-dynamic* cache
+        refresh (§4.2, Fig. 4's "depending on the phase behavior"). A
+        ``fraction`` of ranks (biased toward the head, where it matters)
+        exchange their ids with uniformly random ranks.
+        """
+        if not (0.0 <= fraction <= 1.0):
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        n_swaps = min(int(round(fraction * self.n)), self.n // 2)
+        if n_swaps == 0:
+            return
+        # Head-biased choice of ranks to demote: sample by current pmf.
+        demoted = self._rng.choice(self.n, size=n_swaps, replace=False,
+                                   p=self._pmf_by_rank)
+        # Partners come from the complement so the two sets are disjoint
+        # and the vectorized pairwise swap stays a permutation.
+        mask = np.ones(self.n, dtype=bool)
+        mask[demoted] = False
+        pool = np.flatnonzero(mask)
+        promoted = self._rng.choice(pool, size=n_swaps, replace=False)
+        tmp = self._rank_to_id[demoted].copy()
+        self._rank_to_id[demoted] = self._rank_to_id[promoted]
+        self._rank_to_id[promoted] = tmp

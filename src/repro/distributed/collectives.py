@@ -1,0 +1,122 @@
+"""Byte-accounted collective operations for the in-process simulator.
+
+A ``Communicator`` plays the role of NCCL/Gloo for K simulated workers:
+the collectives are computed exactly (plain NumPy) while tallying the
+bytes a real ring implementation would move, so benchmarks can compare
+measured traffic against the analytic alpha-beta model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Communicator"]
+
+
+class Communicator:
+    """Collectives over K simulated workers with ring-traffic accounting.
+
+    Byte accounting follows the standard ring-collective costs:
+
+    - allreduce of ``S`` bytes: each worker sends ``2 S (K-1)/K``;
+    - allgather of per-worker ``S`` bytes: each sends ``S (K-1)``··/K·K
+      — total ``S (K-1)`` crosses the wire per worker's contribution;
+    - all-to-all where worker i sends ``S_ij`` to worker j: exactly the
+      off-diagonal volume crosses the wire.
+    """
+
+    def __init__(self, world_size: int):
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        self.world_size = world_size
+        self.bytes_allreduce = 0
+        self.bytes_all_to_all = 0
+        self.bytes_allgather = 0
+        self.num_collectives = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_allreduce + self.bytes_all_to_all + self.bytes_allgather
+
+    def reset_counters(self) -> None:
+        self.bytes_allreduce = 0
+        self.bytes_all_to_all = 0
+        self.bytes_allgather = 0
+        self.num_collectives = 0
+
+    # ------------------------------------------------------------------ #
+
+    def allreduce_mean(self, buffers: list[np.ndarray]) -> np.ndarray:
+        """Average one array across workers; every worker gets the result.
+
+        ``buffers`` holds worker ``i``'s contribution at position ``i``.
+        """
+        self._check(buffers)
+        k = self.world_size
+        size = buffers[0].nbytes
+        if k > 1:
+            self.bytes_allreduce += int(2 * size * (k - 1) / k) * k
+        self.num_collectives += 1
+        out = buffers[0].astype(np.float64, copy=True)
+        for b in buffers[1:]:
+            out += b
+        out /= k
+        return out
+
+    def allreduce_sum(self, buffers: list[np.ndarray]) -> np.ndarray:
+        """Sum one array across workers; every worker gets the result.
+
+        Used where each worker holds a *partial* contribution to a global
+        quantity (e.g. MLP gradients of a loss whose 1/B normalisation was
+        already applied globally) — contrast with :meth:`allreduce_mean`
+        for shard-local means.
+        """
+        self._check(buffers)
+        k = self.world_size
+        size = buffers[0].nbytes
+        if k > 1:
+            self.bytes_allreduce += int(2 * size * (k - 1) / k) * k
+        self.num_collectives += 1
+        out = buffers[0].astype(np.float64, copy=True)
+        for b in buffers[1:]:
+            out += b
+        return out
+
+    def allgather(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
+        """Every worker receives every worker's array (returned as a list)."""
+        self._check(buffers)
+        k = self.world_size
+        if k > 1:
+            self.bytes_allgather += sum(int(b.nbytes) * (k - 1) for b in buffers)
+        self.num_collectives += 1
+        return [b.copy() for b in buffers]
+
+    def all_to_all(self, chunks: list[list[np.ndarray]]) -> list[list[np.ndarray]]:
+        """Transpose a K x K grid of arrays: worker ``i``'s ``chunks[i][j]``
+        is delivered to worker ``j`` as ``result[j][i]``.
+
+        Only off-diagonal chunks (actual remote traffic) are billed.
+        """
+        k = self.world_size
+        if len(chunks) != k or any(len(row) != k for row in chunks):
+            raise ValueError(f"expected a {k}x{k} grid of chunks")
+        for i in range(k):
+            for j in range(k):
+                if i != j:
+                    self.bytes_all_to_all += int(chunks[i][j].nbytes)
+        self.num_collectives += 1
+        return [[chunks[i][j].copy() for i in range(k)] for j in range(k)]
+
+    # ------------------------------------------------------------------ #
+
+    def _check(self, buffers: list[np.ndarray]) -> None:
+        if len(buffers) != self.world_size:
+            raise ValueError(
+                f"expected {self.world_size} buffers, got {len(buffers)}"
+            )
+        shape = buffers[0].shape
+        for i, b in enumerate(buffers[1:], start=1):
+            if b.shape != shape:
+                raise ValueError(
+                    f"buffer {i} has shape {b.shape}, expected {shape}"
+                )

@@ -1,0 +1,135 @@
+"""Synchronous data-parallel training over K simulated workers.
+
+Each worker holds a full replica (TT-Rec fits on every device — the §5
+point). A global batch is split into K equal shards; workers compute
+forward/backward locally; gradients are averaged with one allreduce; every
+replica then applies the identical update.
+
+Because gradient averaging over equal shards equals the gradient of the
+full batch (BCE is a mean), K-worker training is *bit-equivalent* to
+single-worker training on the unsharded batch — which the test suite
+asserts exactly. That equivalence is what makes the simulated cluster a
+faithful stand-in for a real synchronous cluster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.batching import Batch
+from repro.distributed.collectives import Communicator
+from repro.models.dlrm import DLRM
+from repro.models.serialization import load_state_dict, state_dict
+from repro.ops.loss import bce_with_logits
+from repro.ops.optim import SparseSGD
+
+__all__ = ["DataParallelTrainer", "shard_batch"]
+
+
+def shard_batch(batch: Batch, world_size: int) -> list[Batch]:
+    """Split a batch into ``world_size`` equal contiguous shards.
+
+    The batch size must divide evenly — real synchronous SGD pads or drops
+    remainders; we require exactness so the equivalence theorem holds
+    bit-for-bit.
+    """
+    b = batch.size
+    if b % world_size != 0:
+        raise ValueError(
+            f"batch size {b} is not divisible by world size {world_size}"
+        )
+    per = b // world_size
+    shards = []
+    for w in range(world_size):
+        lo, hi = w * per, (w + 1) * per
+        sparse = []
+        weights = [] if batch.per_sample_weights is not None else None
+        for t, (indices, offsets) in enumerate(batch.sparse):
+            start, end = offsets[lo], offsets[hi]
+            sparse.append((indices[start:end], offsets[lo:hi + 1] - offsets[lo]))
+            if weights is not None:
+                weights.append(batch.per_sample_weights[t][start:end])
+        shards.append(Batch(
+            dense=batch.dense[lo:hi],
+            sparse=sparse,
+            labels=batch.labels[lo:hi],
+            per_sample_weights=weights,
+        ))
+    return shards
+
+
+class DataParallelTrainer:
+    """K synchronized replicas with gradient-allreduce SGD.
+
+    Parameters
+    ----------
+    replicas:
+        K structurally-identical models. Their parameters are forcibly
+        synchronized to replica 0's values at construction (as a real DP
+        launcher broadcasts rank 0's weights).
+    lr:
+        Learning rate of the per-replica SparseSGD.
+    comm:
+        Optional shared :class:`Communicator` (for byte accounting).
+    """
+
+    def __init__(self, replicas: list[DLRM], *, lr: float = 0.1,
+                 comm: Communicator | None = None):
+        if not replicas:
+            raise ValueError("need at least one replica")
+        self.replicas = list(replicas)
+        self.comm = comm if comm is not None else Communicator(len(replicas))
+        if self.comm.world_size != len(replicas):
+            raise ValueError(
+                f"communicator world size {self.comm.world_size} != "
+                f"{len(replicas)} replicas"
+            )
+        # Broadcast rank 0's weights.
+        reference = state_dict(self.replicas[0])
+        for replica in self.replicas[1:]:
+            load_state_dict(replica, reference)
+        self.optimizers = [SparseSGD(r.parameters(), lr=lr) for r in self.replicas]
+
+    @property
+    def world_size(self) -> int:
+        return len(self.replicas)
+
+    def train_step(self, batch: Batch) -> float:
+        """One synchronous step over a global batch; returns the mean loss."""
+        shards = shard_batch(batch, self.world_size)
+        losses = []
+        for replica, opt, shard in zip(self.replicas, self.optimizers, shards):
+            opt.zero_grad()
+            logits = replica.forward(shard.dense, shard.sparse,
+                                     shard.per_sample_weights)
+            loss, grad = bce_with_logits(logits, shard.labels)
+            replica.backward(grad)
+            losses.append(loss)
+        self._sync_gradients()
+        for opt in self.optimizers:
+            opt.step()
+        return float(np.mean(losses))
+
+    def _sync_gradients(self) -> None:
+        """Allreduce-average gradients; union sparse touched-row sets."""
+        param_groups = list(zip(*(r.parameters() for r in self.replicas)))
+        for group in param_groups:
+            mean_grad = self.comm.allreduce_mean([p.grad for p in group])
+            touched_sets = [p.touched_rows for p in group if p.touched_rows is not None]
+            union = None
+            if touched_sets:
+                union = touched_sets[0]
+                for t in touched_sets[1:]:
+                    union = np.union1d(union, t)
+            for p in group:
+                p.grad[...] = mean_grad
+                p.touched_rows = union.copy() if union is not None else None
+
+    def parameters_in_sync(self, atol: float = 0.0) -> bool:
+        """True when every replica holds identical parameter values."""
+        ref = self.replicas[0].parameters()
+        for replica in self.replicas[1:]:
+            for a, b in zip(ref, replica.parameters()):
+                if not np.allclose(a.data, b.data, atol=atol, rtol=0.0):
+                    return False
+        return True

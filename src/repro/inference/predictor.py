@@ -1,0 +1,145 @@
+"""Serving-side wrapper over a trained DLRM.
+
+``Predictor`` freezes a model for inference:
+
+- forward passes never populate backward caches beyond one batch and
+  gradients are never touched;
+- optionally the remaining *dense* tables are post-training quantized
+  (Guan et al. 2019 style) to shrink the serving footprint further;
+- ``predict_batch`` applies a stable sigmoid; ``rank_candidates`` scores
+  one user context against many candidate items and returns the top-k —
+  the ranking stage of a production recommender.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.quantization import QuantizedEmbeddingBag
+from repro.data.batching import Batch, make_offsets
+from repro.models.dlrm import DLRM
+from repro.ops.embedding import EmbeddingBag
+
+__all__ = ["Predictor", "rank_candidates"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+class Predictor:
+    """Inference-only view of a trained DLRM.
+
+    Parameters
+    ----------
+    model:
+        The trained model. It is used in place (not copied) unless
+        quantization replaces some of its embedding operators — in which
+        case the replaced operators are new, but the original model object
+        is left untouched.
+    quantize_dense_bits:
+        If set, every dense :class:`EmbeddingBag` table is replaced by a
+        post-training quantized copy at this bit width (TT tables stay TT —
+        they are already 100x smaller than dense).
+    """
+
+    def __init__(self, model: DLRM, *, quantize_dense_bits: int | None = None):
+        self.config = model.config
+        if quantize_dense_bits is None:
+            self._embeddings = list(model.embeddings)
+        else:
+            self._embeddings = [
+                QuantizedEmbeddingBag.from_dense(e.weight.data,
+                                                 bits=quantize_dense_bits)
+                if isinstance(e, EmbeddingBag) else e
+                for e in model.embeddings
+            ]
+        # Towers and interaction are shared (read-only use).
+        self._bottom = model.bottom_mlp
+        self._top = model.top_mlp
+        self._interaction = model.interaction
+
+    def serving_parameters(self) -> int:
+        """fp32-equivalent parameter count of the serving model."""
+        total = self._bottom.num_parameters() + self._top.num_parameters()
+        total += sum(e.num_parameters() for e in self._embeddings)
+        return total
+
+    def predict_logits(self, dense: np.ndarray,
+                       sparse: list[tuple[np.ndarray, np.ndarray]]) -> np.ndarray:
+        dense = np.asarray(dense, dtype=np.float64)
+        x = self._bottom.forward(dense)
+        pooled = [
+            emb.forward(indices, offsets)
+            for emb, (indices, offsets) in zip(self._embeddings, sparse)
+        ]
+        z = self._interaction.forward(x, pooled)
+        return self._top.forward(z).reshape(-1)
+
+    def predict_batch(self, batch: Batch) -> np.ndarray:
+        """Click probabilities for a batch."""
+        return _sigmoid(self.predict_logits(batch.dense, batch.sparse))
+
+    def predict_proba(self, dense: np.ndarray,
+                      sparse: list[tuple[np.ndarray, np.ndarray]]) -> np.ndarray:
+        return _sigmoid(self.predict_logits(dense, sparse))
+
+
+def rank_candidates(predictor: Predictor, *, user_dense: np.ndarray,
+                    user_sparse: list[int | None], candidate_table: int,
+                    candidate_ids: np.ndarray, top_k: int = 10
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Score one user context against candidate items; return the top-k.
+
+    Parameters
+    ----------
+    user_dense:
+        ``(num_dense,)`` continuous features of the user/context.
+    user_sparse:
+        One categorical value per table (``None`` for an empty bag),
+        *except* the candidate table, whose value is swept.
+    candidate_table:
+        Index of the table holding the item being ranked.
+    candidate_ids:
+        Item ids to score.
+    top_k:
+        How many winners to return.
+
+    Returns
+    -------
+    ``(top_ids, top_probs)`` sorted by descending probability.
+    """
+    candidate_ids = np.asarray(candidate_ids, dtype=np.int64).reshape(-1)
+    n = candidate_ids.size
+    if n == 0:
+        raise ValueError("no candidates to rank")
+    cfg = predictor.config
+    if not (0 <= candidate_table < cfg.num_tables):
+        raise ValueError(f"candidate_table {candidate_table} out of range")
+    if len(user_sparse) != cfg.num_tables:
+        raise ValueError(
+            f"user_sparse must have {cfg.num_tables} entries, got {len(user_sparse)}"
+        )
+    dense = np.broadcast_to(
+        np.asarray(user_dense, dtype=np.float64), (n, cfg.num_dense)
+    ).copy()
+    sparse = []
+    ones = np.ones(n, dtype=np.int64)
+    for t in range(cfg.num_tables):
+        if t == candidate_table:
+            sparse.append((candidate_ids, make_offsets(ones)))
+        elif user_sparse[t] is None:
+            sparse.append((np.empty(0, dtype=np.int64),
+                           np.zeros(n + 1, dtype=np.int64)))
+        else:
+            value = int(user_sparse[t])
+            sparse.append((np.full(n, value, dtype=np.int64), make_offsets(ones)))
+    probs = predictor.predict_proba(dense, sparse)
+    top_k = min(top_k, n)
+    order = np.argsort(-probs, kind="stable")[:top_k]
+    return candidate_ids[order], probs[order]

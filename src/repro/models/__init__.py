@@ -1,0 +1,24 @@
+"""DLRM model assembly (paper Fig. 2) and the TT-Rec variant."""
+
+from repro.models.config import DLRMConfig, TTConfig
+from repro.models.dlrm import DLRM
+from repro.models.serialization import (
+    load_model,
+    load_state_dict,
+    save_model,
+    state_dict,
+)
+from repro.models.ttrec import build_dlrm, build_ttrec, largest_tables
+
+__all__ = [
+    "DLRMConfig",
+    "TTConfig",
+    "DLRM",
+    "build_dlrm",
+    "build_ttrec",
+    "largest_tables",
+    "save_model",
+    "load_model",
+    "state_dict",
+    "load_state_dict",
+]

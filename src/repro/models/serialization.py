@@ -1,0 +1,74 @@
+"""Model checkpointing: save/load any Module's parameters as ``.npz``.
+
+Parameters are addressed by their ``name`` attribute (every layer in this
+package names its parameters uniquely), so a checkpoint written from one
+process loads into a freshly-constructed model of the same configuration.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.ops.module import Module
+
+__all__ = ["save_model", "load_model", "state_dict", "load_state_dict"]
+
+
+def _keys(model: Module) -> list[str]:
+    """Stable checkpoint keys: ``<position>:<name>``.
+
+    ``Module.parameters()`` walks the attribute graph deterministically, so
+    the positional prefix makes keys unique even when two layers share a
+    default parameter name (e.g. several ``emb.weight`` tables), while the
+    name suffix keeps checkpoints human-readable.
+    """
+    return [f"{i:04d}:{p.name}" for i, p in enumerate(model.parameters())]
+
+
+def state_dict(model: Module) -> dict[str, np.ndarray]:
+    """Key -> value map of every parameter (copies, detached from grads)."""
+    return {
+        key: p.data.copy()
+        for key, p in zip(_keys(model), model.parameters())
+    }
+
+
+def load_state_dict(model: Module, state: dict[str, np.ndarray], *,
+                    strict: bool = True) -> list[str]:
+    """Copy values into the model's parameters by checkpoint key.
+
+    Returns the list of parameter keys that were *not* found in ``state``
+    (empty under ``strict=True``, which raises instead).
+    """
+    params = dict(zip(_keys(model), model.parameters()))
+    missing = [key for key in params if key not in state]
+    unexpected = [key for key in state if key not in params]
+    if strict and (missing or unexpected):
+        raise KeyError(
+            f"state dict mismatch: missing={missing[:5]} unexpected={unexpected[:5]}"
+        )
+    for key, value in state.items():
+        p = params.get(key)
+        if p is None:
+            continue
+        if p.data.shape != value.shape:
+            raise ValueError(
+                f"shape mismatch for {key!r}: model {p.data.shape}, "
+                f"checkpoint {value.shape}"
+            )
+        p.data[...] = value
+    return missing
+
+
+def save_model(model: Module, path: str | os.PathLike) -> None:
+    """Write all parameters to a compressed ``.npz`` checkpoint."""
+    np.savez_compressed(os.fspath(path), **state_dict(model))
+
+
+def load_model(model: Module, path: str | os.PathLike, *, strict: bool = True) -> None:
+    """Load a checkpoint written by :func:`save_model` into ``model``."""
+    with np.load(os.fspath(path)) as archive:
+        state = {name: archive[name] for name in archive.files}
+    load_state_dict(model, state, strict=strict)

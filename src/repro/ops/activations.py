@@ -1,0 +1,54 @@
+"""Elementwise activations with manual backward."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ops.module import Module
+
+__all__ = ["ReLU", "Sigmoid"]
+
+
+class ReLU(Module):
+    """Rectified linear unit; caches the activation mask."""
+
+    def __init__(self):
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_out, 0.0)
+
+    __call__ = forward
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid; caches the output for the backward product rule."""
+
+    def __init__(self):
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        # Numerically stable piecewise evaluation: never exponentiates a
+        # large positive argument.
+        out = np.empty_like(x)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        self._out = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._out * (1.0 - self._out)
+
+    __call__ = forward

@@ -1,0 +1,114 @@
+"""Dense EmbeddingBag — the uncompressed DLRM baseline.
+
+Mirrors ``torch.nn.EmbeddingBag``: a table of ``num_rows x dim`` weights,
+queried with CSR-style ``(indices, offsets)`` bags, pooled by sum or mean,
+with optional per-sample weights (the alpha_i of paper Eq. 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ops.module import Module, Parameter
+from repro.utils.seeding import as_rng
+from repro.utils.validation import check_csr
+
+__all__ = ["EmbeddingBag", "segment_sum"]
+
+
+def segment_sum(rows: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Sum contiguous row segments delimited by ``offsets``.
+
+    ``rows`` has shape ``(n, d)``; ``offsets`` has shape ``(m+1,)`` with
+    ``offsets[0] == 0`` and ``offsets[-1] == n``. Returns ``(m, d)``.
+    Empty segments produce zero rows. Implemented via an exclusive prefix
+    sum so the whole reduction is a single vectorized subtraction.
+    """
+    n, d = rows.shape
+    cs = np.empty((n + 1, d), dtype=rows.dtype)
+    cs[0] = 0.0
+    np.cumsum(rows, axis=0, out=cs[1:])
+    return cs[offsets[1:]] - cs[offsets[:-1]]
+
+
+class EmbeddingBag(Module):
+    """Uncompressed embedding table with bag pooling.
+
+    Parameters
+    ----------
+    num_rows, dim:
+        Table shape.
+    mode:
+        ``"sum"`` or ``"mean"`` pooling across each bag.
+    initializer:
+        Callable ``(rng, shape) -> np.ndarray`` or ``None`` for the DLRM
+        default ``Uniform(-1/sqrt(num_rows), 1/sqrt(num_rows))``.
+
+    Note: DLRM initializes embedding tables with ``Uniform(±1/sqrt(M))``
+    where ``M`` is the *row count*; Table 1 of the paper sweeps Gaussian
+    alternatives parameterized by the same ``n``.
+    """
+
+    def __init__(self, num_rows: int, dim: int, *, mode: str = "sum",
+                 initializer=None, rng: int | None | np.random.Generator = None,
+                 name: str = "emb"):
+        if num_rows <= 0 or dim <= 0:
+            raise ValueError(f"num_rows and dim must be positive, got {num_rows}, {dim}")
+        if mode not in ("sum", "mean"):
+            raise ValueError(f"mode must be 'sum' or 'mean', got {mode!r}")
+        rng = as_rng(rng)
+        self.num_rows = num_rows
+        self.dim = dim
+        self.mode = mode
+        if initializer is None:
+            bound = 1.0 / np.sqrt(num_rows)
+            data = rng.uniform(-bound, bound, size=(num_rows, dim))
+        else:
+            data = initializer(rng, (num_rows, dim))
+        self.weight = Parameter(data, name=f"{name}.weight", sparse=True)
+        self._cache: tuple | None = None
+
+    def forward(self, indices: np.ndarray, offsets: np.ndarray,
+                per_sample_weights: np.ndarray | None = None) -> np.ndarray:
+        indices, offsets = check_csr(indices, offsets, self.num_rows)
+        rows = self.weight.data[indices]
+        if per_sample_weights is not None:
+            alpha = np.asarray(per_sample_weights, dtype=np.float64).reshape(-1)
+            if alpha.shape[0] != indices.shape[0]:
+                raise ValueError(
+                    f"per_sample_weights length {alpha.shape[0]} != "
+                    f"len(indices) {indices.shape[0]}"
+                )
+            rows = rows * alpha[:, None]
+        else:
+            alpha = None
+        out = segment_sum(rows, offsets)
+        counts = np.diff(offsets)
+        if self.mode == "mean":
+            scale = np.where(counts > 0, counts, 1).astype(np.float64)
+            out = out / scale[:, None]
+        self._cache = (indices, offsets, alpha, counts)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> None:
+        """Accumulate grads into ``weight.grad``; bags carry no input grad."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        indices, offsets, alpha, counts = self._cache
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        if self.mode == "mean":
+            scale = np.where(counts > 0, counts, 1).astype(np.float64)
+            grad_out = grad_out / scale[:, None]
+        # Expand bag gradients back to per-index gradients.
+        bag_ids = np.repeat(np.arange(len(counts)), counts)
+        grad_rows = grad_out[bag_ids]
+        if alpha is not None:
+            grad_rows = grad_rows * alpha[:, None]
+        np.add.at(self.weight.grad, indices, grad_rows)
+        self.weight.record_touched(indices)
+
+    __call__ = forward
+
+    def lookup(self, indices: np.ndarray) -> np.ndarray:
+        """Plain (non-pooled) row gather; used by caches and tests."""
+        return self.weight.data[np.asarray(indices, dtype=np.int64)]

@@ -1,0 +1,106 @@
+"""DLRM feature-interaction operators.
+
+DLRM combines the bottom-MLP output with the pooled embedding vectors via
+an explicit second-order interaction: all pairwise dot products between the
+feature vectors, concatenated with the dense vector (``DotInteraction``,
+the MLPerf-DLRM default, ``arch-interaction-op=dot``). ``CatInteraction``
+(plain concatenation) is provided as the simpler alternative DLRM also
+supports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ops.module import Module
+
+__all__ = ["DotInteraction", "CatInteraction"]
+
+
+class DotInteraction(Module):
+    """Pairwise-dot interaction, ``arch-interaction-op=dot`` in DLRM.
+
+    Input: the dense vector ``x`` of shape ``(B, D)`` and ``S`` sparse
+    feature vectors each ``(B, D)``. Stacking them gives ``T`` of shape
+    ``(B, F, D)`` with ``F = S + 1``; the layer emits
+    ``concat([x, lower_triangle(T @ T^T)])`` of width
+    ``D + F*(F-1)//2`` (strictly-lower triangle, no self-interactions,
+    matching ``arch-interaction-itself=False``).
+    """
+
+    def __init__(self):
+        self._stacked: np.ndarray | None = None
+        self._tri: tuple[np.ndarray, np.ndarray] | None = None
+
+    @staticmethod
+    def output_dim(dense_dim: int, num_sparse: int) -> int:
+        f = num_sparse + 1
+        return dense_dim + f * (f - 1) // 2
+
+    def forward(self, x: np.ndarray, sparse: list[np.ndarray]) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"dense input must be 2-D, got shape {x.shape}")
+        feats = [x] + [np.asarray(v, dtype=np.float64) for v in sparse]
+        for i, v in enumerate(feats):
+            if v.shape != x.shape:
+                raise ValueError(
+                    f"feature {i} has shape {v.shape}, expected {x.shape}"
+                )
+        stacked = np.stack(feats, axis=1)  # (B, F, D)
+        self._stacked = stacked
+        z = stacked @ stacked.transpose(0, 2, 1)  # (B, F, F)
+        f = stacked.shape[1]
+        li, lj = np.tril_indices(f, k=-1)
+        self._tri = (li, lj)
+        return np.concatenate([x, z[:, li, lj]], axis=1)
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Return ``(grad_x, [grad_sparse_0, ...])``."""
+        if self._stacked is None or self._tri is None:
+            raise RuntimeError("backward called before forward")
+        stacked = self._stacked
+        b, f, d = stacked.shape
+        li, lj = self._tri
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        grad_x_direct = grad_out[:, :d]
+        grad_pairs = grad_out[:, d:]
+        gz = np.zeros((b, f, f), dtype=np.float64)
+        gz[:, li, lj] = grad_pairs
+        # z = T T^T  =>  dT = (gz + gz^T) T
+        grad_stacked = (gz + gz.transpose(0, 2, 1)) @ stacked
+        grad_x = grad_stacked[:, 0, :] + grad_x_direct
+        grad_sparse = [grad_stacked[:, i, :] for i in range(1, f)]
+        return grad_x, grad_sparse
+
+    __call__ = forward
+
+
+class CatInteraction(Module):
+    """Concatenation interaction, ``arch-interaction-op=cat`` in DLRM."""
+
+    def __init__(self):
+        self._splits: list[int] | None = None
+
+    @staticmethod
+    def output_dim(dense_dim: int, num_sparse: int) -> int:
+        return dense_dim * (num_sparse + 1)
+
+    def forward(self, x: np.ndarray, sparse: list[np.ndarray]) -> np.ndarray:
+        feats = [np.asarray(x, dtype=np.float64)] + [
+            np.asarray(v, dtype=np.float64) for v in sparse
+        ]
+        self._splits = [v.shape[1] for v in feats]
+        return np.concatenate(feats, axis=1)
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        if self._splits is None:
+            raise RuntimeError("backward called before forward")
+        pieces = np.split(
+            np.asarray(grad_out, dtype=np.float64),
+            np.cumsum(self._splits)[:-1],
+            axis=1,
+        )
+        return pieces[0], list(pieces[1:])
+
+    __call__ = forward

@@ -1,0 +1,56 @@
+"""Fully-connected layer with manual backward."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ops.module import Module, Parameter
+from repro.utils.seeding import as_rng
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b`` with cached input for backprop.
+
+    Initialization follows the MLPerf-DLRM reference: weights from a
+    Xavier-style ``N(0, sqrt(2/(fan_in+fan_out)))`` and biases from
+    ``N(0, sqrt(1/fan_out))``.
+    """
+
+    def __init__(self, in_features: int, out_features: int, *,
+                 rng: int | None | np.random.Generator = None, name: str = "linear"):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"in_features and out_features must be positive, got "
+                f"{in_features}, {out_features}"
+            )
+        rng = as_rng(rng)
+        w_std = np.sqrt(2.0 / (in_features + out_features))
+        b_std = np.sqrt(1.0 / out_features)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            rng.normal(0.0, w_std, size=(in_features, out_features)), name=f"{name}.weight"
+        )
+        self.bias = Parameter(rng.normal(0.0, b_std, size=(out_features,)), name=f"{name}.bias")
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input of shape (batch, {self.in_features}), got {x.shape}"
+            )
+        self._input = x
+        return x @ self.weight.data + self.bias.data
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        self.weight.grad += self._input.T @ grad_out
+        self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.data.T
+
+    __call__ = forward

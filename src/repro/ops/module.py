@@ -1,0 +1,108 @@
+"""Parameter and Module base classes for the manual-backprop substrate."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter:
+    """A trainable array with an explicit dense gradient buffer.
+
+    Attributes
+    ----------
+    data : np.ndarray
+        The parameter value, updated in place by optimizers.
+    grad : np.ndarray
+        Accumulated gradient of the loss w.r.t. ``data``. Layers *add* into
+        this buffer during backward so a parameter shared by several paths
+        (e.g. a TT core indexed by many rows) accumulates correctly.
+    name : str
+        Human-readable identifier used in optimizer state and error messages.
+    sparse : bool
+        Parameters flagged sparse (embedding tables) additionally record
+        per-step touched row indices in ``touched_rows`` so sparse
+        optimizers can skip the untouched bulk of the table.
+    """
+
+    def __init__(self, data: np.ndarray, *, name: str = "param", sparse: bool = False):
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        self.sparse = sparse
+        self.touched_rows: np.ndarray | None = None
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the gradient buffer (and touched-row bookkeeping) to zero."""
+        self.grad.fill(0.0)
+        self.touched_rows = None
+
+    def record_touched(self, rows: np.ndarray) -> None:
+        """Record rows whose gradient is (possibly) non-zero this step."""
+        rows = np.unique(np.asarray(rows, dtype=np.int64))
+        if self.touched_rows is None:
+            self.touched_rows = rows
+        else:
+            self.touched_rows = np.union1d(self.touched_rows, rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.data.shape}, sparse={self.sparse})"
+
+
+class Module:
+    """Base class providing parameter discovery and grad reset.
+
+    Subclasses assign :class:`Parameter` instances and sub-``Module``s as
+    attributes; :meth:`parameters` walks the attribute graph (depth-first,
+    deterministic order) to collect every trainable parameter exactly once.
+    """
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        seen: set[int] = set()
+        self._collect(params, seen)
+        return params
+
+    def _collect(self, params: list[Parameter], seen: set[int]) -> None:
+        for value in vars(self).values():
+            if isinstance(value, Parameter):
+                if id(value) not in seen:
+                    seen.add(id(value))
+                    params.append(value)
+            elif isinstance(value, Module):
+                value._collect(params, seen)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Parameter):
+                        if id(item) not in seen:
+                            seen.add(id(item))
+                            params.append(item)
+                    elif isinstance(item, Module):
+                        item._collect(params, seen)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters in this module tree."""
+        return sum(p.size for p in self.parameters())
+
+    def bytes(self, dtype_bytes: int = 4) -> int:
+        """Model size in bytes assuming ``dtype_bytes`` per element.
+
+        The paper reports sizes for fp32 tables, hence the default of 4
+        even though this NumPy implementation trains in float64.
+        """
+        return self.num_parameters() * dtype_bytes

@@ -1,0 +1,156 @@
+"""Optimizers for the manual-backprop substrate.
+
+``SGD`` matches the MLPerf-DLRM reference (plain SGD, no momentum by
+default, optional momentum for completeness). ``SparseSGD`` exploits the
+``touched_rows`` bookkeeping on sparse parameters so an update step costs
+O(rows touched) instead of O(table size) — the same optimization PyTorch's
+sparse embedding gradients provide. ``Adagrad`` is included because
+industrial DLRM training commonly uses it for embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ops.module import Parameter
+
+__all__ = ["SGD", "SparseSGD", "Adagrad", "RowWiseAdagrad"]
+
+
+class SGD:
+    """Stochastic gradient descent over an explicit parameter list."""
+
+    def __init__(self, params: list[Parameter], lr: float, *, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        if not (0.0 <= momentum < 1.0):
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for p in self.params:
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                v = self._velocity.get(id(p))
+                if v is None:
+                    v = np.zeros_like(p.data)
+                    self._velocity[id(p)] = v
+                v *= self.momentum
+                v += grad
+                grad = v
+            p.data -= self.lr * grad
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class SparseSGD:
+    """SGD that only touches rows with recorded non-zero gradients.
+
+    Dense (non-``sparse``) parameters fall back to full updates. Momentum
+    is deliberately unsupported: momentum on sparse rows requires decayed
+    catch-up bookkeeping that neither DLRM nor TT-Rec use.
+    """
+
+    def __init__(self, params: list[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        self.params = list(params)
+        self.lr = lr
+
+    def step(self) -> None:
+        for p in self.params:
+            if p.sparse and p.touched_rows is not None:
+                rows = p.touched_rows
+                p.data[rows] -= self.lr * p.grad[rows]
+            else:
+                p.data -= self.lr * p.grad
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class RowWiseAdagrad:
+    """Row-wise Adagrad — the de-facto industrial DLRM embedding optimizer.
+
+    Keeps *one* accumulator per embedding row (the mean of the row's
+    squared gradients) instead of one per element, cutting optimizer state
+    for a ``rows x dim`` table from ``rows*dim`` to ``rows`` floats — the
+    variant FBGEMM/torchrec call ``ROWWISE_ADAGRAD``. Non-2D or dense
+    parameters fall back to element-wise Adagrad behaviour.
+    """
+
+    def __init__(self, params: list[Parameter], lr: float, *, eps: float = 1e-10):
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        self.params = list(params)
+        self.lr = lr
+        self.eps = eps
+        self._accum: dict[int, np.ndarray] = {}
+        for p in self.params:
+            if p.sparse and p.data.ndim >= 2:
+                self._accum[id(p)] = np.zeros(p.data.shape[0])
+            else:
+                self._accum[id(p)] = np.zeros_like(p.data)
+
+    def step(self) -> None:
+        for p in self.params:
+            acc = self._accum[id(p)]
+            rowwise = p.sparse and p.data.ndim >= 2
+            if rowwise and p.touched_rows is not None:
+                rows = p.touched_rows
+                g = p.grad[rows]
+                acc[rows] += (g.reshape(g.shape[0], -1) ** 2).mean(axis=1)
+                denom = np.sqrt(acc[rows]) + self.eps
+                p.data[rows] -= self.lr * g / denom.reshape(-1, *([1] * (g.ndim - 1)))
+            elif rowwise:
+                g = p.grad
+                acc += (g.reshape(g.shape[0], -1) ** 2).mean(axis=1)
+                denom = np.sqrt(acc) + self.eps
+                p.data -= self.lr * g / denom.reshape(-1, *([1] * (g.ndim - 1)))
+            else:
+                acc += p.grad * p.grad
+                p.data -= self.lr * p.grad / (np.sqrt(acc) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class Adagrad:
+    """Adagrad with per-element accumulators; sparse-aware like SparseSGD."""
+
+    def __init__(self, params: list[Parameter], lr: float, *, eps: float = 1e-10):
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        self.params = list(params)
+        self.lr = lr
+        self.eps = eps
+        self._accum: dict[int, np.ndarray] = {
+            id(p): np.zeros_like(p.data) for p in self.params
+        }
+
+    def step(self) -> None:
+        for p in self.params:
+            acc = self._accum[id(p)]
+            if p.sparse and p.touched_rows is not None:
+                rows = p.touched_rows
+                g = p.grad[rows]
+                acc[rows] += g * g
+                p.data[rows] -= self.lr * g / (np.sqrt(acc[rows]) + self.eps)
+            else:
+                acc += p.grad * p.grad
+                p.data -= self.lr * p.grad / (np.sqrt(acc) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()

@@ -1,0 +1,81 @@
+"""Evaluation metrics: accuracy, BCE loss, ROC AUC.
+
+The paper reports "test accuracy (%)" (0.5-thresholded click prediction)
+and BCE loss; AUC is included because it is the standard CTR metric and is
+threshold-free (useful on synthetic data whose base rate may drift from
+Criteo's).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ops.loss import bce_with_logits
+
+__all__ = ["accuracy", "bce_loss", "roc_auc", "normalized_entropy"]
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray, *, threshold: float = 0.5) -> float:
+    """Fraction of correct 0/1 predictions at a probability threshold."""
+    logits = np.asarray(logits, dtype=np.float64).reshape(-1)
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    if logits.shape != labels.shape:
+        raise ValueError(f"shapes differ: {logits.shape} vs {labels.shape}")
+    if logits.size == 0:
+        raise ValueError("empty inputs")
+    # threshold on probability == threshold on logit via logit transform
+    logit_thresh = np.log(threshold / (1.0 - threshold))
+    preds = (logits >= logit_thresh).astype(np.float64)
+    return float((preds == labels).mean())
+
+
+def bce_loss(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean binary cross-entropy (same computation as the training loss)."""
+    loss, _ = bce_with_logits(logits, labels)
+    return loss
+
+
+def normalized_entropy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Normalized entropy (NE): BCE divided by the base-rate entropy.
+
+    The CTR metric used in Facebook's DLRM literature (He et al. 2014):
+    NE < 1 means the model beats always-predicting the base click rate;
+    lower is better. Unlike raw BCE it is comparable across datasets with
+    different click rates. Returns ``inf`` when the labels are all one
+    class (the base-rate entropy is zero).
+    """
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    loss, _ = bce_with_logits(logits, labels)
+    p = labels.mean()
+    if p <= 0.0 or p >= 1.0:
+        return float("inf")
+    base_entropy = -(p * np.log(p) + (1 - p) * np.log(1 - p))
+    return float(loss / base_entropy)
+
+
+def roc_auc(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann-Whitney rank statistic.
+
+    Ties in scores receive average ranks (the exact AUC definition).
+    Returns 0.5 when either class is absent.
+    """
+    scores = np.asarray(logits, dtype=np.float64).reshape(-1)
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    if scores.shape != labels.shape:
+        raise ValueError(f"shapes differ: {scores.shape} vs {labels.shape}")
+    pos = labels > 0.5
+    n_pos = int(pos.sum())
+    n_neg = scores.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        return 0.5
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(scores.size, dtype=np.float64)
+    sorted_scores = scores[order]
+    # average ranks over tied groups
+    _, starts, counts = np.unique(sorted_scores, return_index=True, return_counts=True)
+    avg = starts + (counts - 1) / 2.0 + 1.0  # 1-based average rank per group
+    group_of = np.repeat(np.arange(starts.size), counts)
+    ranks[order] = avg[group_of]
+    rank_sum_pos = ranks[pos].sum()
+    u = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))

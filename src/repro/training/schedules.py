@@ -1,0 +1,106 @@
+"""Learning-rate schedules (the MLPerf-DLRM warmup + polynomial decay).
+
+The MLPerf-DLRM reference trains Terabyte with ``--lr-num-warmup-steps``
+and ``--lr-num-decay-steps`` (linear warmup from 0 to the base LR, then
+polynomial decay of power 2 down to zero). ``LRScheduler`` wraps any of
+this package's optimizers (which expose a mutable ``lr`` attribute) and
+applies a schedule per step.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+__all__ = [
+    "constant_schedule",
+    "warmup_poly_decay_schedule",
+    "step_decay_schedule",
+    "LRScheduler",
+]
+
+Schedule = Callable[[int], float]  # step -> multiplier in [0, 1]
+
+
+def constant_schedule() -> Schedule:
+    """Multiplier 1.0 forever (plain SGD, the Kaggle configuration)."""
+    return lambda step: 1.0
+
+
+def warmup_poly_decay_schedule(*, warmup_steps: int, decay_start_step: int,
+                               decay_steps: int, power: float = 2.0,
+                               end_multiplier: float = 0.0) -> Schedule:
+    """MLPerf-DLRM schedule: linear warmup, plateau, polynomial decay.
+
+    - steps ``[0, warmup_steps)``: multiplier rises linearly ``1/w .. 1``;
+    - steps ``[warmup_steps, decay_start_step)``: multiplier 1;
+    - steps ``[decay_start_step, decay_start_step + decay_steps)``:
+      ``((1 - progress) ** power)`` decaying to ``end_multiplier``;
+    - afterwards: ``end_multiplier``.
+    """
+    if warmup_steps < 0 or decay_steps < 0:
+        raise ValueError("warmup_steps and decay_steps must be >= 0")
+    if decay_start_step < warmup_steps:
+        raise ValueError(
+            f"decay_start_step ({decay_start_step}) must be >= warmup_steps "
+            f"({warmup_steps})"
+        )
+    if not (0.0 <= end_multiplier <= 1.0):
+        raise ValueError(f"end_multiplier must be in [0, 1], got {end_multiplier}")
+
+    def schedule(step: int) -> float:
+        if step < warmup_steps:
+            return (step + 1) / warmup_steps
+        if step < decay_start_step or decay_steps == 0:
+            return 1.0
+        progress = (step - decay_start_step) / decay_steps
+        if progress >= 1.0:
+            return end_multiplier
+        return end_multiplier + (1.0 - end_multiplier) * (1.0 - progress) ** power
+
+    return schedule
+
+
+def step_decay_schedule(*, decay_every: int, factor: float = 0.5,
+                        min_multiplier: float = 1e-4) -> Schedule:
+    """Classic staircase decay: multiply by ``factor`` every N steps."""
+    if decay_every < 1:
+        raise ValueError(f"decay_every must be >= 1, got {decay_every}")
+    if not (0.0 < factor < 1.0):
+        raise ValueError(f"factor must be in (0, 1), got {factor}")
+
+    def schedule(step: int) -> float:
+        return max(min_multiplier, factor ** (step // decay_every))
+
+    return schedule
+
+
+class LRScheduler:
+    """Applies a schedule to an optimizer's ``lr`` before each step.
+
+    Usage::
+
+        opt = SparseSGD(model.parameters(), lr=0.1)
+        sched = LRScheduler(opt, warmup_poly_decay_schedule(
+            warmup_steps=100, decay_start_step=1000, decay_steps=5000))
+        ...
+        sched.step()   # call once per training iteration, before opt.step()
+    """
+
+    def __init__(self, optimizer, schedule: Schedule):
+        if not hasattr(optimizer, "lr"):
+            raise TypeError("optimizer must expose a mutable 'lr' attribute")
+        self.optimizer = optimizer
+        self.schedule = schedule
+        self.base_lr = float(optimizer.lr)
+        self._step = 0
+
+    @property
+    def current_lr(self) -> float:
+        return float(self.optimizer.lr)
+
+    def step(self) -> float:
+        """Advance the schedule; returns the LR now set on the optimizer."""
+        lr = self.base_lr * self.schedule(self._step)
+        self.optimizer.lr = lr
+        self._step += 1
+        return lr

@@ -1,0 +1,145 @@
+"""Training/evaluation driver for DLRM-style models.
+
+One :class:`Trainer` owns a model, an optimizer and a data source, and
+provides the timed training loop every timing experiment (Fig. 7, Fig. 10)
+builds on. Timing uses ``time.perf_counter`` around the full
+forward/loss/backward/step iteration, mirroring the paper's ms/iter
+numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.batching import Batch
+from repro.models.dlrm import DLRM
+from repro.ops.loss import bce_with_logits
+from repro.ops.optim import SparseSGD
+from repro.training.metrics import accuracy, bce_loss, normalized_entropy, roc_auc
+
+__all__ = ["Trainer", "TrainResult", "EvalResult"]
+
+
+@dataclass
+class TrainResult:
+    """Summary of one training run."""
+
+    iterations: int = 0
+    total_time_s: float = 0.0
+    losses: list[float] = field(default_factory=list)
+
+    @property
+    def ms_per_iter(self) -> float:
+        return 1000.0 * self.total_time_s / self.iterations if self.iterations else 0.0
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    def smoothed_loss(self, window: int = 50) -> float:
+        """Mean loss over the trailing window (noise-robust progress signal)."""
+        if not self.losses:
+            return float("nan")
+        return float(np.mean(self.losses[-window:]))
+
+
+@dataclass
+class EvalResult:
+    """Validation metrics over a held-out sample stream."""
+
+    accuracy: float
+    bce: float
+    auc: float
+    num_samples: int
+    ne: float = float("nan")  # normalized entropy (He et al. 2014)
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return (
+            f"acc={self.accuracy * 100:.3f}% bce={self.bce:.4f} "
+            f"auc={self.auc:.4f} ne={self.ne:.4f} (n={self.num_samples})"
+        )
+
+
+class Trainer:
+    """Minibatch trainer with BCE-with-logits loss.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.models.dlrm.DLRM` (baseline or TT-Rec variant).
+    lr:
+        SGD learning rate (MLPerf-DLRM Kaggle default 0.1).
+    optimizer:
+        Optional pre-built optimizer; defaults to
+        :class:`~repro.ops.optim.SparseSGD` over the model's parameters.
+    """
+
+    def __init__(self, model: DLRM, *, lr: float = 0.1, optimizer=None):
+        self.model = model
+        self.optimizer = optimizer if optimizer is not None else SparseSGD(
+            model.parameters(), lr=lr
+        )
+
+    def train_step(self, batch: Batch) -> float:
+        """One forward/backward/update step; returns the batch loss.
+
+        Raises :class:`FloatingPointError` if the loss is NaN/inf —
+        catching divergence at the step it happens instead of corrupting
+        every parameter and failing silently later.
+        """
+        self.optimizer.zero_grad()
+        logits = self.model.forward(
+            batch.dense, batch.sparse, batch.per_sample_weights
+        )
+        loss, grad = bce_with_logits(logits, batch.labels)
+        if not np.isfinite(loss):
+            raise FloatingPointError(
+                f"training diverged: loss={loss!r}; lower the learning rate "
+                "or check the input data for non-finite values"
+            )
+        self.model.backward(grad)
+        self.optimizer.step()
+        return loss
+
+    def train(self, batches, *, max_iters: int | None = None,
+              log_every: int | None = None, log_fn=print) -> TrainResult:
+        """Train over an iterable of batches, timing the whole loop."""
+        result = TrainResult()
+        start = time.perf_counter()
+        for i, batch in enumerate(batches):
+            if max_iters is not None and i >= max_iters:
+                break
+            loss = self.train_step(batch)
+            result.losses.append(loss)
+            result.iterations += 1
+            if log_every and (i + 1) % log_every == 0:
+                log_fn(
+                    f"iter {i + 1}: loss={np.mean(result.losses[-log_every:]):.4f}"
+                )
+        result.total_time_s = time.perf_counter() - start
+        return result
+
+    def evaluate(self, batches, *, max_iters: int | None = None) -> EvalResult:
+        """Forward-only evaluation accumulating accuracy/BCE/AUC."""
+        all_logits: list[np.ndarray] = []
+        all_labels: list[np.ndarray] = []
+        for i, batch in enumerate(batches):
+            if max_iters is not None and i >= max_iters:
+                break
+            logits = self.model.forward(batch.dense, batch.sparse)
+            all_logits.append(np.asarray(logits))
+            all_labels.append(np.asarray(batch.labels))
+        if not all_logits:
+            raise ValueError("evaluate received no batches")
+        logits = np.concatenate(all_logits)
+        labels = np.concatenate(all_labels)
+        return EvalResult(
+            accuracy=accuracy(logits, labels),
+            bce=bce_loss(logits, labels),
+            auc=roc_auc(logits, labels),
+            num_samples=logits.size,
+            ne=normalized_entropy(logits, labels),
+        )

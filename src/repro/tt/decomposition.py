@@ -1,0 +1,132 @@
+"""TT-SVD decomposition of a dense matrix and exact reconstruction.
+
+These are the classical algorithms from Oseledets (2011), specialised to
+the matrix-TT ("TT-matrix") layout used for embedding tables (paper Eq. 2):
+the ``M x N`` matrix is reshaped to a ``d``-dimensional tensor with modes
+``(m_k * n_k)`` and decomposed by successive truncated SVDs.
+
+They serve three roles in this reproduction:
+
+1. Correctness oracle — ``tt_reconstruct(tt_svd(W)) == W`` for full-rank
+   shapes, which pins down the index conventions used by the fast kernels.
+2. Initialising a TT table from a pre-trained dense table.
+3. The cache-eviction discussion in §4.2 (decomposing evicted rows back
+   into TT is what the paper deliberately avoids doing online).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tt.shapes import TTShape
+
+__all__ = ["tt_svd", "tt_reconstruct", "tt_full_tensor"]
+
+
+def _matrix_to_tensor(matrix: np.ndarray, shape: TTShape) -> np.ndarray:
+    """Reshape ``(M, N)`` (padded) to mode-paired tensor ``(m1*n1, ..., md*nd)``."""
+    d = shape.d
+    m, n = shape.row_factors, shape.col_factors
+    t = matrix.reshape(*m, *n)  # (m1..md, n1..nd)
+    # interleave to (m1, n1, m2, n2, ...)
+    perm = [x for k in range(d) for x in (k, d + k)]
+    t = t.transpose(perm)
+    return t.reshape([m[k] * n[k] for k in range(d)])
+
+
+def tt_svd(matrix: np.ndarray, shape: TTShape, *, rtol: float = 0.0) -> list[np.ndarray]:
+    """Decompose a dense table into TT cores via successive truncated SVD.
+
+    Parameters
+    ----------
+    matrix:
+        Dense table, ``(shape.num_rows, shape.dim)``. Rows are zero-padded
+        up to ``shape.padded_rows`` before reshaping.
+    shape:
+        Target TT shape; its ranks cap the truncation at each boundary.
+    rtol:
+        Additional relative singular-value cutoff (0 keeps everything the
+        rank cap allows).
+
+    Returns
+    -------
+    list of cores in the *mode-first* layout ``(m_k, R_{k-1}, n_k, R_k)``
+    (see :class:`TTShape`), directly loadable into
+    :meth:`repro.tt.embedding_bag.TTEmbeddingBag.load_cores`.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.shape != (shape.num_rows, shape.dim):
+        raise ValueError(
+            f"matrix shape {matrix.shape} != ({shape.num_rows}, {shape.dim})"
+        )
+    if shape.padded_rows != shape.num_rows:
+        pad = np.zeros((shape.padded_rows - shape.num_rows, shape.dim))
+        matrix = np.vstack([matrix, pad])
+    t = _matrix_to_tensor(matrix, shape)
+
+    d = shape.d
+    cores: list[np.ndarray] = []
+    unfolding = t.reshape(t.shape[0], -1)
+    r_prev = 1
+    for k in range(d - 1):
+        rows = r_prev * shape.row_factors[k] * shape.col_factors[k]
+        unfolding = unfolding.reshape(rows, -1)
+        u, s, vt = np.linalg.svd(unfolding, full_matrices=False)
+        r = min(shape.ranks[k + 1], s.size)
+        if rtol > 0 and s.size:
+            keep = s > rtol * s[0]
+            r = min(r, max(1, int(keep.sum())))
+        u, s, vt = u[:, :r], s[:r], vt[:r]
+        core = u.reshape(r_prev, shape.row_factors[k], shape.col_factors[k], r)
+        cores.append(np.ascontiguousarray(core.transpose(1, 0, 2, 3)))
+        unfolding = s[:, None] * vt
+        r_prev = r
+    last = unfolding.reshape(r_prev, shape.row_factors[-1], shape.col_factors[-1], 1)
+    cores.append(np.ascontiguousarray(last.transpose(1, 0, 2, 3)))
+    return cores
+
+
+def tt_full_tensor(cores: list[np.ndarray]) -> np.ndarray:
+    """Contract mode-first cores into the full ``(padded_rows, dim)`` matrix."""
+    d = len(cores)
+    # res carries shape (m1..mk, n1..nk, R_k) throughout the loop.
+    first = cores[0]  # (m1, 1, n1, R1)
+    m1, r0, n1, r1 = first.shape
+    if r0 != 1:
+        raise ValueError(f"first core must have R_0 == 1, got {r0}")
+    res = first.reshape(m1, n1, r1)
+    ms, ns = [m1], [n1]
+    for k in range(1, d):
+        core = cores[k]  # (mk, R_{k-1}, nk, Rk)
+        mk, rk_prev, nk, rk = core.shape
+        if rk_prev != res.shape[-1]:
+            raise ValueError(
+                f"rank mismatch between core {k - 1} (R={res.shape[-1]}) and "
+                f"core {k} (expects {rk_prev})"
+            )
+        mat = core.transpose(1, 0, 2, 3).reshape(rk_prev, mk * nk * rk)
+        res = res.reshape(-1, rk_prev) @ mat  # (prod_m*prod_n, mk*nk*rk)
+        res = res.reshape(*ms, *ns, mk, nk, rk)
+        # move the new mk in with the row modes, nk with the column modes
+        axes = list(range(res.ndim))
+        nm, nn = len(ms), len(ns)
+        perm = axes[:nm] + [nm + nn] + axes[nm:nm + nn] + [nm + nn + 1, nm + nn + 2]
+        res = res.transpose(perm)
+        ms.append(mk)
+        ns.append(nk)
+    if res.shape[-1] != 1:
+        raise ValueError(f"last core must have R_d == 1, got {res.shape[-1]}")
+    rows = int(np.prod(ms))
+    cols = int(np.prod(ns))
+    return np.ascontiguousarray(res.reshape(rows, cols))
+
+
+def tt_reconstruct(cores: list[np.ndarray], shape: TTShape) -> np.ndarray:
+    """Materialise the dense ``(num_rows, dim)`` table (padding stripped)."""
+    full = tt_full_tensor(cores)
+    if full.shape != (shape.padded_rows, shape.dim):
+        raise ValueError(
+            f"cores produce table of shape {full.shape}, expected "
+            f"({shape.padded_rows}, {shape.dim})"
+        )
+    return full[: shape.num_rows]

@@ -1,0 +1,287 @@
+"""TT-EmbeddingBag: the paper's core operator (Algorithms 1 and 2).
+
+Forward (Algorithm 1): each queried row index is decoded into per-core
+indices ``(i_1, ..., i_d)``; the row is the chain of matrix products
+``G_1(i_1) G_2(:,i_2) ... G_d(:,i_d)`` (paper Eq. 3), evaluated for the
+whole batch at once as a sequence of *batched GEMMs* (``np.matmul`` over
+stacked 3-D operands — the NumPy analogue of cuBLAS ``GemmBatchedEx``).
+Rows are then pooled into bags by summation/averaging with optional
+per-sample weights (Eq. 6-7).
+
+Backward (Algorithm 2): the chain rule of Eq. 4-5. For every core ``k`` the
+per-sample gradient is ``L_{k-1}^T dO R_k^T`` where ``L`` are the left
+partial products (``tr_i`` in the paper — either stored from forward or
+recomputed, §4.2's trade-off) and ``R`` right partial products built by a
+backward sweep. Per-sample gradients are scattered into the shared cores
+with a duplicate-combining scatter-add.
+
+Storage layout: cores are kept mode-first, ``(m_k, R_{k-1}, n_k, R_k)``,
+so a lookup is one contiguous row gather; see :class:`repro.tt.shapes.TTShape`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ops.embedding import segment_sum
+from repro.ops.module import Module, Parameter
+from repro.tt.decomposition import tt_reconstruct
+from repro.tt.initialization import tt_core_initializer
+from repro.tt.kernels import scatter_add_rows
+from repro.tt.shapes import TTShape
+from repro.utils.seeding import as_rng
+from repro.utils.validation import check_csr
+
+__all__ = ["TTEmbeddingBag"]
+
+
+class TTEmbeddingBag(Module):
+    """Bag-pooled embedding lookup backed by TT cores.
+
+    Parameters
+    ----------
+    num_rows, dim:
+        Logical table shape (the dense table being replaced).
+    shape:
+        Explicit :class:`TTShape`; if ``None`` one is derived via
+        :meth:`TTShape.suggested` from ``d`` and ``rank``.
+    rank, d:
+        Uniform internal TT-rank and number of cores for the derived shape.
+    mode:
+        Bag pooling, ``"sum"`` or ``"mean"``.
+    initializer:
+        Either a strategy name from
+        :data:`repro.tt.initialization.CORE_INIT_STRATEGIES`
+        (default ``"sampled_gaussian"``, paper Algorithm 3) or a callable
+        ``(TTShape, rng) -> list[np.ndarray]``.
+    store_intermediates:
+        Keep the forward partial products (``tr_i``) for backward. Disabling
+        recomputes them (paper §4.2: lower memory, more FLOPs) — the
+        recompute-vs-store ablation bench flips this flag.
+    dedup:
+        Collapse duplicate indices within a batch before the TT chain and
+        expand afterwards. The paper's GPU kernel does not dedup (Fig. 11
+        discusses exactly this reuse gap vs EmbeddingBag); dedup is off by
+        default for faithfulness but available as an optimization.
+    """
+
+    def __init__(self, num_rows: int, dim: int, *, shape: TTShape | None = None,
+                 rank: int = 32, d: int = 3, mode: str = "sum",
+                 initializer="sampled_gaussian",
+                 rng: int | None | np.random.Generator = None,
+                 store_intermediates: bool = True, dedup: bool = False,
+                 name: str = "tt_emb"):
+        if mode not in ("sum", "mean"):
+            raise ValueError(f"mode must be 'sum' or 'mean', got {mode!r}")
+        if shape is None:
+            shape = TTShape.suggested(num_rows, dim, d=d, rank=rank)
+        if shape.num_rows != num_rows or shape.dim != dim:
+            raise ValueError(
+                f"shape describes a {shape.num_rows}x{shape.dim} table, "
+                f"expected {num_rows}x{dim}"
+            )
+        rng = as_rng(rng)
+        self.num_rows = num_rows
+        self.dim = dim
+        self.shape = shape
+        self.mode = mode
+        self.store_intermediates = store_intermediates
+        self.dedup = dedup
+        if callable(initializer):
+            init_fn = initializer
+        else:
+            init_fn = tt_core_initializer(initializer)
+        cores = init_fn(shape, rng)
+        self.cores: list[Parameter] = []
+        for k, core in enumerate(cores):
+            expected = shape.core_shape(k)
+            if core.shape != expected:
+                raise ValueError(
+                    f"initializer produced core {k} of shape {core.shape}, "
+                    f"expected {expected}"
+                )
+            self.cores.append(Parameter(core, name=f"{name}.core{k}", sparse=True))
+        self._cache: dict | None = None
+
+    # ------------------------------------------------------------------ #
+    # Forward
+    # ------------------------------------------------------------------ #
+
+    def _row_chain(self, decoded: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Batched TT chain (Algorithm 1). Returns ``(rows, left_partials)``.
+
+        ``decoded`` is ``(d, n)``; ``rows`` is ``(n, dim)``; ``left_partials[k]``
+        is the product of cores ``0..k`` with shape ``(n, prod_{j<=k} n_j, R_{k+1})``
+        (the ``tr_k`` buffers of Algorithm 1).
+        """
+        n = decoded.shape[1]
+        first = self.cores[0].data[decoded[0]]  # (n, 1, n_1, R_1)
+        res = first.reshape(n, self.shape.col_factors[0], self.shape.ranks[1])
+        lefts = [res]
+        for k in range(1, self.shape.d):
+            core = self.cores[k].data[decoded[k]]  # (n, R_{k-1}, n_k, R_k)
+            r_prev = self.shape.ranks[k]
+            r_next = self.shape.ranks[k + 1]
+            nk = self.shape.col_factors[k]
+            # Batched GEMM: (n, P, R_{k-1}) @ (n, R_{k-1}, n_k*R_k)
+            res = np.matmul(res, core.reshape(n, r_prev, nk * r_next))
+            res = res.reshape(n, -1, r_next)
+            lefts.append(res)
+        rows = res.reshape(n, self.dim)
+        return rows, lefts
+
+    def lookup(self, indices: np.ndarray) -> np.ndarray:
+        """Materialise the requested rows (no pooling, no backward cache)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            return np.zeros((0, self.dim))
+        decoded = self.shape.decode_indices(indices)
+        rows, _ = self._row_chain(decoded)
+        return rows
+
+    def forward(self, indices: np.ndarray, offsets: np.ndarray | None = None,
+                per_sample_weights: np.ndarray | None = None) -> np.ndarray:
+        """Pooled lookup. With ``offsets=None`` each index is its own bag."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if offsets is None:
+            offsets = np.arange(indices.size + 1, dtype=np.int64)
+        indices, offsets = check_csr(indices, offsets, self.num_rows)
+        if per_sample_weights is not None:
+            alpha = np.asarray(per_sample_weights, dtype=np.float64).reshape(-1)
+            if alpha.shape[0] != indices.shape[0]:
+                raise ValueError(
+                    f"per_sample_weights length {alpha.shape[0]} != "
+                    f"len(indices) {indices.shape[0]}"
+                )
+        else:
+            alpha = None
+
+        if indices.size == 0:
+            # All bags empty: zero output, nothing for backward to touch.
+            self._cache = {
+                "indices": indices,
+                "decoded": np.empty((self.shape.d, 0), dtype=np.int64),
+                "inverse": None, "alpha": alpha,
+                "counts": np.diff(offsets), "lefts": [],
+            }
+            return np.zeros((offsets.size - 1, self.dim))
+
+        if self.dedup and indices.size:
+            uniq, inverse = np.unique(indices, return_inverse=True)
+            decoded = self.shape.decode_indices(uniq)
+            uniq_rows, lefts = self._row_chain(decoded)
+            rows = uniq_rows[inverse]
+        else:
+            inverse = None
+            decoded = self.shape.decode_indices(indices)
+            rows, lefts = self._row_chain(decoded)
+
+        weighted = rows if alpha is None else rows * alpha[:, None]
+        out = segment_sum(weighted, offsets)
+        counts = np.diff(offsets)
+        if self.mode == "mean":
+            scale = np.where(counts > 0, counts, 1).astype(np.float64)
+            out = out / scale[:, None]
+        self._cache = {
+            "indices": indices,
+            "decoded": decoded,
+            "inverse": inverse,
+            "alpha": alpha,
+            "counts": counts,
+            "lefts": lefts if self.store_intermediates else None,
+        }
+        return out
+
+    __call__ = forward
+
+    # ------------------------------------------------------------------ #
+    # Backward
+    # ------------------------------------------------------------------ #
+
+    def backward(self, grad_out: np.ndarray) -> None:
+        """Accumulate core gradients for the last forward call (Algorithm 2)."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        c = self._cache
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        counts = c["counts"]
+        if self.mode == "mean":
+            scale = np.where(counts > 0, counts, 1).astype(np.float64)
+            grad_out = grad_out / scale[:, None]
+        bag_ids = np.repeat(np.arange(len(counts)), counts)
+        grad_rows = grad_out[bag_ids]  # (n_indices, dim)
+        if c["alpha"] is not None:
+            grad_rows = grad_rows * c["alpha"][:, None]
+        if c["inverse"] is not None:
+            # Combine gradient contributions of duplicate indices.
+            n_uniq = c["decoded"].shape[1]
+            combined = np.zeros((n_uniq, self.dim))
+            scatter_add_rows(combined, c["inverse"], grad_rows)
+            grad_rows = combined
+
+        decoded = c["decoded"]
+        lefts = c["lefts"]
+        if lefts is None:
+            # Recompute-intermediates arm (paper §4.2, Algorithm 2 line 3).
+            _, lefts = self._row_chain(decoded)
+        self._accumulate_core_grads(decoded, grad_rows, lefts)
+
+    def _accumulate_core_grads(self, decoded: np.ndarray, grad_rows: np.ndarray,
+                               lefts: list[np.ndarray]) -> None:
+        n = decoded.shape[1]
+        if n == 0:
+            return
+        d = self.shape.d
+        right = np.ones((n, 1, 1))  # R_d == 1, Q_{d-1} == 1
+        q = 1
+        for k in range(d - 1, -1, -1):
+            r_prev = self.shape.ranks[k]
+            r_next = self.shape.ranks[k + 1]
+            nk = self.shape.col_factors[k]
+            left = lefts[k - 1] if k > 0 else np.ones((n, 1, 1))
+            p = left.shape[1]
+            # dO as (n, P_{k-1}, n_k * Q_k)
+            d_out = grad_rows.reshape(n, p, nk * q)
+            # (n, R_{k-1}, P) @ (n, P, n_k*Q) -> (n, R_{k-1}, n_k*Q)
+            tmp = np.matmul(left.transpose(0, 2, 1), d_out)
+            tmp = tmp.reshape(n, r_prev * nk, q)
+            # (n, R_{k-1}*n_k, Q) @ (n, Q, R_k) -> per-sample core gradient
+            g = np.matmul(tmp, right.transpose(0, 2, 1))
+            g = g.reshape(n, r_prev, nk, r_next)
+            scatter_add_rows(self.cores[k].grad, decoded[k], g)
+            self.cores[k].record_touched(decoded[k])
+            if k > 0:
+                core = self.cores[k].data[decoded[k]]  # (n, R_{k-1}, n_k, R_k)
+                # Right_{k-1} = G_k(i_k) · Right_k, reshaped to (n, R_{k-1}, n_k*Q)
+                right = np.matmul(core.reshape(n, r_prev * nk, r_next), right.reshape(n, r_next, q))
+                right = right.reshape(n, r_prev, nk * q)
+                q *= nk
+
+    # ------------------------------------------------------------------ #
+    # Interop
+    # ------------------------------------------------------------------ #
+
+    def materialize(self) -> np.ndarray:
+        """Reconstruct the full dense ``(num_rows, dim)`` table from the cores.
+
+        Intended for analysis/tests and for populating caches; this is the
+        O(M*N) operation the TT format exists to avoid during training.
+        """
+        return tt_reconstruct([p.data for p in self.cores], self.shape)
+
+    def load_cores(self, cores: list[np.ndarray]) -> None:
+        """Replace core values in place (e.g. with a :func:`tt_svd` result)."""
+        if len(cores) != self.shape.d:
+            raise ValueError(f"expected {self.shape.d} cores, got {len(cores)}")
+        for k, core in enumerate(cores):
+            expected = self.shape.core_shape(k)
+            if core.shape != expected:
+                raise ValueError(f"core {k} has shape {core.shape}, expected {expected}")
+            self.cores[k].data[...] = core
+
+    def num_parameters(self) -> int:
+        return self.shape.num_params()
+
+    def compression_ratio(self) -> float:
+        """Dense-table params divided by TT params (paper Table 2)."""
+        return self.shape.compression_ratio()

@@ -1,0 +1,87 @@
+"""Integer factorization for TT shape selection.
+
+TT decomposition of an ``M x N`` embedding table requires factoring the row
+count ``M`` into ``d`` integers and the embedding dimension ``N`` into
+``d`` integers (paper Eq. 2). The paper pads the row count up to a
+convenient product (e.g. 10131227 rows -> 200*220*250 = 11,000,000); this
+module provides the padding/balancing logic used by
+:func:`repro.tt.shapes.TTShape.suggested`.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["prime_factors", "factorize_into", "suggested_tt_shapes"]
+
+
+def prime_factors(n: int) -> list[int]:
+    """Return the prime factorization of ``n`` in non-decreasing order."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    factors: list[int] = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.append(d)
+            n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def factorize_into(n: int, d: int) -> list[int]:
+    """Split ``n`` into ``d`` factors whose product is exactly ``n``.
+
+    The factors are balanced greedily (largest prime factors assigned to the
+    currently-smallest bucket) so the result is as close to ``n**(1/d)`` per
+    factor as the prime structure allows. Raises if ``n`` has fewer than one
+    unit of mass per factor only in the degenerate ``n < 1`` case; factors of
+    1 are allowed (e.g. ``factorize_into(7, 3) == [1, 1, 7]``).
+    """
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    buckets = [1] * d
+    for p in sorted(prime_factors(n), reverse=True):
+        smallest = min(range(d), key=lambda i: buckets[i])
+        buckets[smallest] *= p
+    return sorted(buckets)
+
+
+def suggested_tt_shapes(n: int, d: int, *, allow_round_up: bool = True) -> list[int]:
+    """Return ``d`` balanced factors whose product is ``>= n``.
+
+    When ``allow_round_up`` is true (the paper's strategy), ``n`` is padded
+    upward until it admits a factorization where the ratio between the
+    largest and smallest factor is small. Padding a row count is harmless:
+    rows beyond the true cardinality are simply never indexed. With
+    ``allow_round_up=False`` the product is exactly ``n``.
+
+    Examples
+    --------
+    >>> suggested_tt_shapes(10131227, 3)
+    [200, 224, 226]
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not allow_round_up:
+        return factorize_into(n, d)
+
+    best: list[int] | None = None
+    best_cost: tuple[float, int] | None = None
+    target = n ** (1.0 / d)
+    # Search a window of padded sizes; the window is generous enough that a
+    # well-balanced factorization always exists (numbers with many small
+    # prime factors are dense).
+    limit = max(64, int(math.ceil(target)) * 4)
+    for padded in range(n, n + limit + 1):
+        factors = factorize_into(padded, d)
+        imbalance = factors[-1] / factors[0]
+        cost = (imbalance, padded - n)
+        if best_cost is None or cost < best_cost:
+            best, best_cost = factors, cost
+        if imbalance <= 1.5 and padded > n:
+            break
+    assert best is not None
+    return best

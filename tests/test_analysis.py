@@ -1,0 +1,183 @@
+"""Tests for the analysis modules: memory (exact Table 2), distributions,
+locality, Pareto frontier."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import (
+    materialized_entry_samples,
+    pdf_histogram,
+    product_of_iid_samples,
+    table1_kl_rows,
+)
+from repro.analysis.locality import top_set_stability
+from repro.analysis.memory import model_size_summary, table2_rows, tt_shape_for_table
+from repro.analysis.pareto import pareto_frontier
+from repro.data import KAGGLE, TERABYTE
+from repro.data.zipf import ZipfSampler
+from repro.tt import TTShape
+
+# Paper Table 2, transcribed: (rows) -> {rank: (params, reduction)}
+PAPER_TABLE2 = {
+    10131227: {16: (135040, 1200), 32: (495360, 327), 64: (1891840, 86)},
+    8351593: {16: (122176, 1094), 32: (449152, 297), 64: (1717504, 78)},
+    7046547: {16: (121600, 927), 32: (448000, 252), 64: (1715200, 66)},
+    5461306: {16: (106944, 817), 32: (393088, 222), 64: (1502976, 58)},
+    2202608: {16: (79264, 445), 32: (291648, 121), 64: (1115776, 32)},
+    286181: {16: (43360, 106), 32: (160448, 28), 64: (615808, 7)},
+    142572: {16: (31744, 72), 32: (116736, 19), 64: (446464, 5)},
+}
+
+
+class TestTable2Exact:
+    def test_every_parameter_count_matches_paper(self):
+        rows = table2_rows(KAGGLE)
+        assert len(rows) == 21
+        for r in rows:
+            params, reduction = PAPER_TABLE2[r.num_rows][r.rank]
+            assert r.tt_params == params, (r.num_rows, r.rank)
+            # The paper's printed ratios mix floor and round (86 from 85.68,
+            # 297 from 297.51), so allow one unit either way.
+            assert abs(r.memory_reduction - reduction) <= 1.0, (r.num_rows, r.rank)
+
+    def test_core_shapes_match_paper(self):
+        shape = tt_shape_for_table(10131227, 16, 32)
+        assert shape.paper_core_shape(0) == (1, 200, 2, 32)
+        assert shape.paper_core_shape(1) == (32, 220, 2, 32)
+        assert shape.paper_core_shape(2) == (32, 250, 4, 1)
+
+    def test_unknown_table_falls_back_to_suggested(self):
+        shape = tt_shape_for_table(999_983, 16, 8)  # prime row count
+        assert shape.padded_rows >= 999_983
+        assert shape.dim == 16
+
+
+class TestModelSizeSummary:
+    def test_kaggle_headline_117x(self):
+        """Paper §6: 'TT-Rec reduces the overall model size requirement by
+        117x from 2.16 GB to 18.36 MB' (7 tables, rank 32)."""
+        s = model_size_summary(KAGGLE, num_tt_tables=7, rank=32)
+        assert s.reduction == pytest.approx(117, abs=1)
+        assert s.baseline_bytes / 1e9 == pytest.approx(2.16, abs=0.01)
+        assert s.compressed_bytes / 1e6 == pytest.approx(18.4, abs=0.4)
+
+    def test_kaggle_fig5_series(self):
+        """Fig. 5 / §6.1: reductions of 4x, 48x, (117x) for 3, 5, 7 tables."""
+        r3 = model_size_summary(KAGGLE, num_tt_tables=3, rank=32).reduction
+        r5 = model_size_summary(KAGGLE, num_tt_tables=5, rank=32).reduction
+        assert r3 == pytest.approx(4, abs=0.5)
+        assert r5 == pytest.approx(48, abs=1)
+
+    def test_terabyte_monotone_in_tables(self):
+        rs = [model_size_summary(TERABYTE, num_tt_tables=n, rank=32).reduction
+              for n in (3, 5, 7)]
+        assert rs[0] < rs[1] < rs[2]
+        assert rs[0] == pytest.approx(2.6, abs=0.3)  # paper: 2.6x
+
+    def test_reduction_decreases_with_rank(self):
+        rs = [model_size_summary(KAGGLE, num_tt_tables=7, rank=r).reduction
+              for r in (16, 32, 64)]
+        assert rs[0] > rs[1] > rs[2]
+
+    def test_mlp_params_fold_in(self):
+        a = model_size_summary(KAGGLE, num_tt_tables=7, rank=32)
+        b = model_size_summary(KAGGLE, num_tt_tables=7, rank=32, mlp_params=10 ** 6)
+        assert b.reduction < a.reduction
+
+
+class TestDistributions:
+    def test_product_uniform01_concentrates_at_zero(self):
+        s1 = product_of_iid_samples("uniform01", 1, 100_000, rng=0)
+        s3 = product_of_iid_samples("uniform01", 3, 100_000, rng=0)
+        assert np.mean(s3 < 0.1) > np.mean(s1 < 0.1) + 0.2
+
+    def test_product_gaussian_peaked(self):
+        s3 = product_of_iid_samples("gaussian", 3, 100_000, rng=0)
+        assert np.mean(np.abs(s3) < 0.1) > 0.3
+
+    def test_unknown_dist(self):
+        with pytest.raises(ValueError):
+            product_of_iid_samples("cauchy", 2, 10)
+
+    def test_pdf_histogram_normalised(self):
+        x = np.random.default_rng(0).normal(size=10_000)
+        centers, density = pdf_histogram(x, bins=50)
+        width = centers[1] - centers[0]
+        assert density.sum() * width == pytest.approx(1.0, abs=0.01)
+
+    def test_pdf_histogram_empty(self):
+        with pytest.raises(ValueError):
+            pdf_histogram(np.array([]))
+
+    def test_materialized_sampled_gaussian_variance(self):
+        shape = TTShape.with_uniform_rank(512, 8, (8, 8, 8), (2, 2, 2), 4)
+        entries = materialized_entry_samples(shape, "sampled_gaussian", rng=0)
+        assert entries.var() == pytest.approx(1 / (3 * 512), rel=0.4)
+
+    def test_table1_rows_structure(self):
+        rows = table1_kl_rows(n=10_000)
+        assert len(rows) == 6
+        assert rows[0].kind == "uniform" and rows[0].kl == 0.0
+        gaussians = rows[1:]
+        # KL ordering: N(0,1) > N(0,1/2) > N(0,1/8) > N(0,1/3n)
+        assert gaussians[0].kl > gaussians[1].kl > gaussians[2].kl > gaussians[3].kl
+        # the optimal Gaussian attains the scale-free minimum
+        # KL(U || N*) = (1 + ln(pi/6)) / 2 ~= 0.1765 (the paper's Table 1
+        # reports it as -0.17 under the opposite sign convention)
+        assert gaussians[3].kl == pytest.approx(0.5 * (1 + np.log(np.pi / 6)), abs=1e-9)
+
+
+class TestLocality:
+    def test_stable_stream_stabilises(self):
+        """A stationary Zipf stream's top-k set changes less over time."""
+        z = ZipfSampler(2000, 1.1, rng=0)
+        stream = z.sample(60_000)
+        trace = top_set_stability(stream, k=100, checkpoint_fraction=0.05)
+        assert trace.change_fraction[0] > trace.change_fraction[-1]
+        assert trace.change_fraction[-1] < 0.05
+
+    def test_drifting_stream_does_not_stabilise(self):
+        rng = np.random.default_rng(0)
+        # hot set shifts halfway through
+        a = rng.integers(0, 100, size=10_000)
+        b = rng.integers(900, 1000, size=10_000)
+        stream = np.concatenate([a, b])
+        trace = top_set_stability(stream, k=100, checkpoint_fraction=0.1)
+        mid = len(trace.change_fraction) // 2
+        assert trace.change_fraction[mid - 1:].max() > 0.3
+
+    def test_stabilization_point(self):
+        z = ZipfSampler(500, 1.3, rng=1)
+        trace = top_set_stability(z.sample(100_000), k=50, checkpoint_fraction=0.03)
+        p = trace.stabilization_point(threshold=0.05)
+        assert 0.0 < p <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            top_set_stability(np.array([], dtype=np.int64))
+        with pytest.raises(ValueError):
+            top_set_stability(np.array([1, 2]), checkpoint_fraction=0.0)
+
+    def test_checkpoints_cover_stream(self):
+        trace = top_set_stability(np.arange(1000) % 7, k=3, checkpoint_fraction=0.25)
+        assert trace.checkpoints[-1] == pytest.approx(1.0)
+
+
+class TestPareto:
+    def test_frontier_filters_dominated(self):
+        pts = [(1.0, 0.5), (2.0, 0.6), (3.0, 0.55), (4.0, 0.7)]
+        front = pareto_frontier(pts, cost=lambda p: p[0], value=lambda p: p[1])
+        assert front == [(1.0, 0.5), (2.0, 0.6), (4.0, 0.7)]
+
+    def test_frontier_sorted_by_cost(self):
+        pts = [(4.0, 0.7), (1.0, 0.5)]
+        front = pareto_frontier(pts, cost=lambda p: p[0], value=lambda p: p[1])
+        assert front == [(1.0, 0.5), (4.0, 0.7)]
+
+    def test_equal_cost_keeps_best_value(self):
+        pts = [(1.0, 0.5), (1.0, 0.9)]
+        front = pareto_frontier(pts, cost=lambda p: p[0], value=lambda p: p[1])
+        assert front == [(1.0, 0.9)]
+
+    def test_empty(self):
+        assert pareto_frontier([], cost=lambda p: 0, value=lambda p: 0) == []

@@ -1,0 +1,102 @@
+"""Tests for benchmark workload generators and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    controlled_hitrate_workload,
+    format_series,
+    format_table,
+    pooling_workload,
+    uniform_workload,
+)
+
+
+class TestPoolingWorkload:
+    def test_shapes(self):
+        idx, off = pooling_workload(1000, batch_size=32, pooling_factor=10, rng=0)
+        assert idx.size == 320
+        assert off.size == 33
+        np.testing.assert_array_equal(np.diff(off), 10)
+
+    def test_indices_in_range(self):
+        idx, _ = pooling_workload(50, 16, 4, rng=0)
+        assert idx.min() >= 0 and idx.max() < 50
+
+    def test_zipf_skew(self):
+        idx, _ = pooling_workload(10_000, 1000, 10, zipf_s=1.3, rng=0)
+        counts = np.bincount(idx)
+        assert np.sort(counts)[-10:].sum() / idx.size > 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pooling_workload(100, 8, 0)
+
+
+class TestUniformWorkload:
+    def test_uniformity(self):
+        idx, off = uniform_workload(100, 50_000, rng=0)
+        counts = np.bincount(idx, minlength=100)
+        assert counts.max() / counts.min() < 1.5
+        np.testing.assert_array_equal(np.diff(off), 1)
+
+
+class TestControlledHitrate:
+    def test_exact_hit_count(self):
+        cached = np.arange(100)
+        for rate in (0.0, 0.25, 0.5, 0.9, 1.0):
+            idx, _ = controlled_hitrate_workload(
+                10_000, 512, cached_ids=cached, hit_rate=rate, rng=0
+            )
+            hits = np.isin(idx, cached).sum()
+            assert hits == round(rate * 512)
+
+    def test_misses_avoid_cache(self):
+        cached = np.arange(0, 1000, 2)
+        idx, _ = controlled_hitrate_workload(
+            1000, 256, cached_ids=cached, hit_rate=0.5, rng=0
+        )
+        miss = idx[~np.isin(idx, cached)]
+        assert miss.size == 128
+        assert not np.isin(miss, cached).any()
+
+    def test_pooling_factor(self):
+        idx, off = controlled_hitrate_workload(
+            1000, 8, cached_ids=np.arange(10), hit_rate=0.5, pooling_factor=4, rng=0
+        )
+        assert idx.size == 32
+        np.testing.assert_array_equal(np.diff(off), 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            controlled_hitrate_workload(100, 8, cached_ids=np.arange(5), hit_rate=1.5)
+        with pytest.raises(ValueError):
+            controlled_hitrate_workload(
+                100, 8, cached_ids=np.array([], dtype=np.int64), hit_rate=0.5
+            )
+        with pytest.raises(ValueError):
+            controlled_hitrate_workload(
+                10, 8, cached_ids=np.arange(10), hit_rate=0.5
+            )
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        out = format_table(["name", "value"], [["a", 1.0], ["bb", 22.5]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_format_series(self):
+        out = format_series("s", [1, 2], [0.5, 0.25], x_label="k", y_label="v")
+        assert "series: s" in out
+        assert "0.25" in out
+
+    def test_format_series_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1], [1, 2])

@@ -1,0 +1,171 @@
+"""Tests for CachedTTEmbeddingBag — the hybrid TT + LFU-cache operator."""
+
+import numpy as np
+import pytest
+
+from repro.cache import CachedTTEmbeddingBag
+from repro.tt import TTShape
+from tests.helpers import numeric_grad_check, random_csr
+
+
+def make(shape=None, **kwargs):
+    shape = shape or TTShape.with_uniform_rank(60, 8, (3, 4, 5), (2, 2, 2), 4)
+    defaults = dict(cache_size=8, warmup_steps=3, refresh_interval=None, rng=0)
+    defaults.update(kwargs)
+    return CachedTTEmbeddingBag(60, 8, shape=shape, **defaults)
+
+
+class TestLifecycle:
+    def test_cold_start_serves_tt(self):
+        emb = make()
+        idx = np.array([1, 2, 3])
+        out = emb.forward(idx)
+        np.testing.assert_allclose(out, emb.tt.lookup(idx), atol=1e-12)
+        assert not emb.is_warm
+        assert emb.hits == 0
+
+    def test_populates_after_warmup(self):
+        emb = make(warmup_steps=2)
+        for _ in range(3):
+            emb.forward(np.array([7, 7, 9]))
+        assert emb.is_warm
+        assert 7 in emb._cached_ids
+
+    def test_cache_values_initialized_from_tt(self):
+        emb = make(warmup_steps=1)
+        emb.forward(np.array([5, 5, 6]))
+        emb.forward(np.array([5]))  # triggers populate on step 2 >= warmup 1
+        assert emb.is_warm
+        mask, slots = emb._membership(np.array([5]))
+        assert mask[0]
+        np.testing.assert_allclose(
+            emb.cache_rows.data[slots[0]], emb.tt.lookup(np.array([5]))[0], atol=1e-12
+        )
+
+    def test_hit_rate_accounting(self):
+        emb = make(warmup_steps=1, cache_size=2)
+        emb.forward(np.array([3, 3, 3, 4]))
+        emb.forward(np.array([3, 4, 9]))  # populate happened at this step
+        emb.forward(np.array([3, 4, 9]))
+        assert 0 < emb.hit_rate() < 1
+        assert emb.lookups == 10
+
+    def test_refresh_keeps_hot_learned_weights(self):
+        emb = make(warmup_steps=1, refresh_interval=2, cache_size=2)
+        emb.forward(np.array([3, 3, 4, 4]))
+        emb.forward(np.array([3, 4]))  # populate
+        mask, slots = emb._membership(np.array([3]))
+        emb.cache_rows.data[slots[0]] = 99.0  # simulate learned weights
+        emb.forward(np.array([3, 4]))  # step 3
+        emb.forward(np.array([3, 4]))  # step 4 -> refresh, 3 still hot
+        mask, slots = emb._membership(np.array([3]))
+        assert mask[0]
+        np.testing.assert_allclose(emb.cache_rows.data[slots[0]], 99.0)
+
+    def test_eviction_discards_learned_weights(self):
+        emb = make(warmup_steps=1, refresh_interval=2, cache_size=1)
+        emb.forward(np.array([3, 3]))
+        emb.forward(np.array([3]))  # populate with {3}
+        mask, slots = emb._membership(np.array([3]))
+        emb.cache_rows.data[slots[0]] = 99.0
+        # Make 4 dominate, force refresh -> 3 evicted.
+        emb.forward(np.array([4, 4, 4, 4, 4]))
+        emb.forward(np.array([4, 4, 4, 4, 4]))  # step 4 -> refresh
+        mask, _ = emb._membership(np.array([3]))
+        assert not mask[0]
+        # Row 3 now serves from TT again: learned 99s are gone.
+        np.testing.assert_allclose(
+            emb.lookup(np.array([3]))[0], emb.tt.lookup(np.array([3]))[0], atol=1e-12
+        )
+
+    def test_populate_stats(self):
+        emb = make(warmup_steps=0, cache_size=3)
+        emb.tracker.record(np.array([1, 1, 2, 2, 3, 3]))
+        stats = emb.populate()
+        assert stats == {"inserted": 3, "kept": 0, "evicted": 0}
+        emb.tracker.record(np.array([4] * 10))
+        stats = emb.populate()
+        assert stats["inserted"] == 1
+        assert stats["kept"] == 2
+        assert stats["evicted"] == 1
+
+
+class TestForwardBackward:
+    def test_forward_consistent_with_pure_tt_before_warmup(self):
+        emb = make(warmup_steps=100)
+        rng = np.random.default_rng(0)
+        idx, off = random_csr(rng, 60, 5)
+        out = emb.forward(idx, off)
+        np.testing.assert_allclose(out, emb.tt.forward(idx, off), atol=1e-12)
+
+    @pytest.mark.parametrize("mode", ["sum", "mean"])
+    def test_gradients_mixed_cache_tt(self, mode):
+        rng = np.random.default_rng(21)
+        emb = make(warmup_steps=1, cache_size=4, mode=mode)
+        # Warm the cache on a few hot rows.
+        emb.forward(np.array([1, 1, 2, 2]))
+        emb.forward(np.array([1]))
+        assert emb.is_warm
+        idx = np.array([1, 2, 30, 40, 1, 50])  # mix of hits and misses
+        off = np.array([0, 2, 4, 6])
+        alpha = rng.normal(size=6) if mode == "sum" else None
+        r = rng.normal(size=(3, 8))
+
+        def loss():
+            return float((emb.forward(idx, off, alpha) * r).sum())
+
+        emb.zero_grad()
+        base_lookups = emb.lookups
+        emb.forward(idx, off, alpha)
+        emb.backward(r)
+        for p in emb.tt.cores:
+            numeric_grad_check(p.data, p.grad, loss, samples=10)
+        numeric_grad_check(emb.cache_rows.data, emb.cache_rows.grad, loss, samples=10)
+
+    def test_cached_rows_update_densely(self):
+        """After SGD on cache_rows, hits serve the *updated* value while the
+        TT cores still hold the old one (the two sets learn separately)."""
+        emb = make(warmup_steps=1, cache_size=2)
+        emb.forward(np.array([5, 5]))
+        emb.forward(np.array([5]))
+        assert emb.is_warm
+        before_tt = emb.tt.lookup(np.array([5]))[0].copy()
+        emb.zero_grad()
+        emb.forward(np.array([5]))
+        emb.backward(np.ones((1, 8)))
+        assert not any(p.grad.any() for p in emb.tt.cores)
+        emb.cache_rows.data -= 0.1 * emb.cache_rows.grad
+        after = emb.lookup(np.array([5]))[0]
+        assert not np.allclose(after, before_tt)
+        np.testing.assert_allclose(emb.tt.lookup(np.array([5]))[0], before_tt)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            make().backward(np.ones((1, 8)))
+
+
+class TestConfigValidation:
+    def test_cache_fraction_default_paper_value(self):
+        emb = CachedTTEmbeddingBag(100_000, 8, rank=2, rng=0)
+        assert emb.cache_size == 10  # 0.01% of 100k
+
+    def test_cache_size_clamped_to_rows(self):
+        emb = make(cache_size=1000)
+        assert emb.cache_size == 60
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            make(cache_size=0)
+        with pytest.raises(ValueError):
+            make(warmup_steps=-1)
+        with pytest.raises(ValueError):
+            make(refresh_interval=0)
+        with pytest.raises(ValueError):
+            CachedTTEmbeddingBag(60, 8, cache_fraction=0.0, rng=0)
+
+    def test_num_parameters_counts_cache(self):
+        emb = make(cache_size=8)
+        assert emb.num_parameters() == emb.tt.num_parameters() + 8 * 8
+        assert emb.compression_ratio() == pytest.approx(
+            60 * 8 / emb.num_parameters()
+        )

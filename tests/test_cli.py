@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_table2(self, capsys):
+        assert main(["table2", "--ranks", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "10131227" in out
+        assert "135040" in out  # exact paper value
+
+    def test_sizes(self, capsys):
+        assert main(["sizes", "--tables", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "kaggle" in out and "terabyte" in out
+        assert "117" in out  # the headline reduction
+
+    def test_plan(self, capsys):
+        assert main(["plan", "--budget-mb", "20", "--top", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "compression" in out
+        assert "TT" in out
+
+    def test_plan_impossible_budget_raises(self):
+        with pytest.raises(ValueError):
+            main(["plan", "--budget-mb", "0.001"])
+
+    def test_locality(self, capsys):
+        assert main(["locality", "--rows", "2000", "--accesses", "20000",
+                     "--k", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "stabilises" in out
+
+    def test_report_writes_markdown(self, tmp_path, capsys):
+        out = tmp_path / "REPORT.md"
+        assert main(["report", "--out", str(out)]) == 0
+        body = out.read_text()
+        assert body.startswith("# TT-Rec analysis report")
+        assert "Paper Table 2" in body
+        assert "135040" in body  # the exact Table 2 value
+        assert body.count("## ") == 4
+
+    def test_train_smoke(self, capsys):
+        assert main(["train", "--iters", "15", "--scale", "0.0002"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "tt-rec" in out
+        assert "ms/iter" in out

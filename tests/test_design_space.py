@@ -1,0 +1,59 @@
+"""Smoke tests for the design-space sweep (Fig. 1 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.design_space import DesignPoint, frontier, sweep_design_space
+from repro.data import KAGGLE
+
+
+@pytest.fixture(scope="module")
+def points():
+    spec = KAGGLE.scaled(0.0002)
+    # Deliberately tiny: this exercises the sweep plumbing, not accuracy.
+    return sweep_design_space(
+        spec, ranks=(2,), emb_dims=(4,), table_counts=(0, 3),
+        train_iters=6, eval_iters=2, batch_size=16, seed=0, min_rows=60,
+    )
+
+
+class TestSweep:
+    def test_grid_size(self, points):
+        # one baseline + one (rank=2, tables=3) point per emb dim
+        assert len(points) == 2
+
+    def test_baseline_marked(self, points):
+        baselines = [p for p in points if p.num_tt_tables == 0]
+        assert len(baselines) == 1
+        assert baselines[0].rank == 0
+
+    def test_compressed_smaller(self, points):
+        base = next(p for p in points if p.num_tt_tables == 0)
+        comp = next(p for p in points if p.num_tt_tables == 3)
+        assert comp.embedding_params < base.embedding_params
+
+    def test_metrics_populated(self, points):
+        for p in points:
+            assert 0.0 <= p.accuracy <= 1.0
+            assert np.isfinite(p.bce)
+            assert p.memory_bytes == p.embedding_params * 4
+
+
+class TestFrontier:
+    def test_frontier_subset_and_monotone(self, points):
+        front = frontier(points)
+        assert set(id(p) for p in front) <= set(id(p) for p in points)
+        accs = [p.accuracy for p in front]
+        assert accs == sorted(accs)
+
+    def test_synthetic_dominance(self):
+        pts = [
+            DesignPoint(rank=1, emb_dim=4, num_tt_tables=3,
+                        embedding_params=100, accuracy=0.7, bce=0.5),
+            DesignPoint(rank=2, emb_dim=4, num_tt_tables=3,
+                        embedding_params=200, accuracy=0.6, bce=0.6),  # dominated
+            DesignPoint(rank=4, emb_dim=4, num_tt_tables=3,
+                        embedding_params=400, accuracy=0.8, bce=0.4),
+        ]
+        front = frontier(pts)
+        assert [p.rank for p in front] == [1, 4]

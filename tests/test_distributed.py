@@ -1,0 +1,250 @@
+"""Tests for the distributed-training simulator (collectives, DP, MP).
+
+The load-bearing assertions are the *equivalence theorems*: K-worker
+data-parallel training is bit-equivalent to single-worker large-batch
+training, and the hybrid model-parallel layout computes bit-identical
+logits and updates to the unsharded DLRM.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import KAGGLE, SyntheticCTRDataset
+from repro.distributed import Communicator, DataParallelTrainer, ShardedEmbeddingDLRM
+from repro.distributed.data_parallel import shard_batch
+from repro.distributed.model_parallel import assign_tables
+from repro.models import DLRMConfig, TTConfig, build_dlrm, build_ttrec
+from repro.ops.loss import bce_with_logits
+from repro.ops.optim import SparseSGD
+
+SPEC = KAGGLE.scaled(0.0002)
+CFG = DLRMConfig(table_sizes=SPEC.table_sizes, emb_dim=8,
+                 bottom_mlp=(16,), top_mlp=(16,))
+
+
+def make_batch(size=32, seed=0):
+    return SyntheticCTRDataset(SPEC, seed=seed, noise=0.7).batch(size)
+
+
+class TestCommunicator:
+    def test_allreduce_mean(self):
+        c = Communicator(3)
+        out = c.allreduce_mean([np.ones(4), 2 * np.ones(4), 3 * np.ones(4)])
+        np.testing.assert_allclose(out, 2.0)
+
+    def test_allreduce_sum(self):
+        c = Communicator(2)
+        out = c.allreduce_sum([np.ones(3), 2 * np.ones(3)])
+        np.testing.assert_allclose(out, 3.0)
+
+    def test_single_worker_free(self):
+        c = Communicator(1)
+        c.allreduce_mean([np.ones(10)])
+        assert c.total_bytes == 0
+
+    def test_ring_byte_accounting(self):
+        c = Communicator(4)
+        buf = np.ones(1000)  # 8000 bytes
+        c.allreduce_mean([buf.copy() for _ in range(4)])
+        # per worker 2*S*(3/4), times 4 workers
+        assert c.bytes_allreduce == int(2 * 8000 * 3 / 4) * 4
+
+    def test_all_to_all_transpose(self):
+        c = Communicator(2)
+        grid = [[np.array([0.0]), np.array([1.0])],
+                [np.array([2.0]), np.array([3.0])]]
+        out = c.all_to_all(grid)
+        assert out[0][1][0] == 2.0  # worker 1's chunk for worker 0
+        assert out[1][0][0] == 1.0
+
+    def test_all_to_all_bills_off_diagonal_only(self):
+        c = Communicator(2)
+        grid = [[np.ones(10), np.ones(20)], [np.ones(30), np.ones(40)]]
+        c.all_to_all(grid)
+        assert c.bytes_all_to_all == (20 + 30) * 8
+
+    def test_allgather(self):
+        c = Communicator(2)
+        out = c.allgather([np.zeros(2), np.ones(2)])
+        np.testing.assert_array_equal(out[1], np.ones(2))
+        assert c.bytes_allgather == 2 * 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Communicator(0)
+        c = Communicator(2)
+        with pytest.raises(ValueError):
+            c.allreduce_mean([np.ones(2)])
+        with pytest.raises(ValueError):
+            c.allreduce_mean([np.ones(2), np.ones(3)])
+        with pytest.raises(ValueError):
+            c.all_to_all([[np.ones(1)]])
+
+
+class TestShardBatch:
+    def test_even_split(self):
+        batch = make_batch(32)
+        shards = shard_batch(batch, 4)
+        assert [s.size for s in shards] == [8, 8, 8, 8]
+        np.testing.assert_array_equal(
+            np.concatenate([s.labels for s in shards]), batch.labels
+        )
+
+    def test_sparse_offsets_rebased(self):
+        batch = make_batch(8)
+        shards = shard_batch(batch, 2)
+        for shard in shards:
+            for idx, off in shard.sparse:
+                assert off[0] == 0
+                assert off[-1] == idx.size
+
+    def test_lookup_content_preserved(self):
+        batch = make_batch(8)
+        shards = shard_batch(batch, 2)
+        for t in range(len(batch.sparse)):
+            rebuilt = np.concatenate([s.sparse[t][0] for s in shards])
+            np.testing.assert_array_equal(rebuilt, batch.sparse[t][0])
+
+    def test_uneven_rejected(self):
+        with pytest.raises(ValueError):
+            shard_batch(make_batch(10), 4)
+
+
+class TestDataParallelEquivalence:
+    def test_two_workers_equal_single_worker(self):
+        """The equivalence theorem, bit-for-bit over several steps."""
+        single = build_ttrec(CFG, num_tt_tables=3, tt=TTConfig(rank=4),
+                             min_rows=60, rng=0)
+        opt = SparseSGD(single.parameters(), lr=0.1)
+        replicas = [
+            build_ttrec(CFG, num_tt_tables=3, tt=TTConfig(rank=4),
+                        min_rows=60, rng=0)
+            for _ in range(2)
+        ]
+        dp = DataParallelTrainer(replicas, lr=0.1)
+
+        for step in range(3):
+            batch = make_batch(16, seed=step)
+            # single worker
+            opt.zero_grad()
+            logits = single.forward(batch.dense, batch.sparse)
+            _, grad = bce_with_logits(logits, batch.labels)
+            single.backward(grad)
+            opt.step()
+            # data parallel
+            dp.train_step(batch)
+
+        assert dp.parameters_in_sync()
+        for a, b in zip(single.parameters(), dp.replicas[0].parameters()):
+            np.testing.assert_allclose(a.data, b.data, atol=1e-12)
+
+    def test_replicas_start_synchronized(self):
+        replicas = [build_dlrm(CFG, rng=i) for i in range(3)]  # different seeds!
+        dp = DataParallelTrainer(replicas, lr=0.1)
+        assert dp.parameters_in_sync()
+
+    def test_replicas_stay_synchronized(self):
+        replicas = [build_dlrm(CFG, rng=0) for _ in range(2)]
+        dp = DataParallelTrainer(replicas, lr=0.1)
+        for step in range(2):
+            dp.train_step(make_batch(8, seed=step))
+        assert dp.parameters_in_sync()
+
+    def test_loss_decreases(self):
+        replicas = [build_dlrm(CFG, rng=0) for _ in range(2)]
+        dp = DataParallelTrainer(replicas, lr=0.1)
+        ds = SyntheticCTRDataset(SPEC, seed=0, noise=0.7)
+        losses = [dp.train_step(ds.batch(64)) for _ in range(60)]
+        assert np.mean(losses[-10:]) < np.mean(losses[:10])
+
+    def test_comm_bytes_counted(self):
+        replicas = [build_dlrm(CFG, rng=0) for _ in range(2)]
+        dp = DataParallelTrainer(replicas, lr=0.1)
+        dp.train_step(make_batch(8))
+        assert dp.comm.bytes_allreduce > 0
+        assert dp.comm.bytes_all_to_all == 0  # pure data parallelism
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataParallelTrainer([])
+        with pytest.raises(ValueError):
+            DataParallelTrainer([build_dlrm(CFG, rng=0)], comm=Communicator(2))
+
+
+class TestAssignTables:
+    def test_balanced(self):
+        owner = assign_tables((100, 100, 100, 100), 2)
+        assert sorted(owner) == [0, 0, 1, 1]
+
+    def test_largest_spread(self):
+        owner = assign_tables((1000, 10, 10, 10), 2)
+        big_worker = owner[0]
+        # the three small tables all avoid the big table's worker
+        assert all(owner[i] != big_worker for i in (1, 2, 3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            assign_tables((10,), 0)
+
+
+class TestModelParallelEquivalence:
+    @pytest.mark.parametrize("world_size", [2, 4])
+    def test_logits_match_unsharded(self, world_size):
+        reference = build_dlrm(CFG, rng=0)
+        sharded = ShardedEmbeddingDLRM.from_dlrm(reference, world_size)
+        batch = make_batch(16)
+        ref_logits = reference.forward(batch.dense, batch.sparse)
+        np.testing.assert_allclose(sharded.forward(batch), ref_logits, atol=1e-12)
+
+    def test_train_step_matches_unsharded(self):
+        """Hybrid-parallel update == single-worker update, bit-for-bit."""
+        reference = build_dlrm(CFG, rng=0)
+        twin = build_dlrm(CFG, rng=0)  # kept unsharded
+        opt = SparseSGD(twin.parameters(), lr=0.1)
+        sharded = ShardedEmbeddingDLRM.from_dlrm(reference, 2, lr=0.1)
+
+        for step in range(2):
+            batch = make_batch(8, seed=step)
+            sharded.zero_grad()
+            sharded.train_step(batch)
+
+            opt.zero_grad()
+            logits = twin.forward(batch.dense, batch.sparse)
+            _, grad = bce_with_logits(logits, batch.labels)
+            twin.backward(grad)
+            opt.step()
+
+        # Embeddings (moved into the sharded layout) match the twin's.
+        for a, b in zip(reference.embeddings, twin.embeddings):
+            for pa, pb in zip(a.parameters(), b.parameters()):
+                np.testing.assert_allclose(pa.data, pb.data, atol=1e-12)
+        # Tower replicas match the twin's MLPs.
+        for tower in sharded.towers:
+            for pa, pb in zip(tower.bottom.parameters(),
+                              twin.bottom_mlp.parameters()):
+                np.testing.assert_allclose(pa.data, pb.data, atol=1e-12)
+            for pa, pb in zip(tower.top.parameters(),
+                              twin.top_mlp.parameters()):
+                np.testing.assert_allclose(pa.data, pb.data, atol=1e-12)
+
+    def test_all_to_all_traffic_scales_with_batch(self):
+        reference = build_dlrm(CFG, rng=0)
+        small_comm = Communicator(2)
+        sharded = ShardedEmbeddingDLRM.from_dlrm(reference, 2, comm=small_comm)
+        sharded.forward(make_batch(8))
+        small = small_comm.bytes_all_to_all
+        small_comm.reset_counters()
+        sharded.forward(make_batch(32))
+        assert small_comm.bytes_all_to_all == 4 * small
+
+    def test_per_worker_memory_balanced(self):
+        reference = build_dlrm(CFG, rng=0)
+        sharded = ShardedEmbeddingDLRM.from_dlrm(reference, 4)
+        loads = sharded.per_worker_embedding_bytes()
+        assert max(loads) < sum(loads)  # genuinely split
+        assert min(loads) > 0
+
+    def test_backward_before_forward(self):
+        sharded = ShardedEmbeddingDLRM.from_dlrm(build_dlrm(CFG, rng=0), 2)
+        with pytest.raises(RuntimeError):
+            sharded.backward(np.ones(8))

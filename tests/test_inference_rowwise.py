@@ -1,0 +1,181 @@
+"""Tests for the inference Predictor, candidate ranking and RowWiseAdagrad."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import QuantizedEmbeddingBag
+from repro.data import KAGGLE, SyntheticCTRDataset
+from repro.inference import Predictor, rank_candidates
+from repro.models import DLRMConfig, TTConfig, build_dlrm, build_ttrec
+from repro.ops.module import Parameter
+from repro.ops.optim import Adagrad, RowWiseAdagrad
+from repro.training import Trainer
+
+SPEC = KAGGLE.scaled(0.0002)
+CFG = DLRMConfig(table_sizes=SPEC.table_sizes, emb_dim=8,
+                 bottom_mlp=(16,), top_mlp=(16,))
+
+
+@pytest.fixture(scope="module")
+def trained():
+    model = build_ttrec(CFG, num_tt_tables=3, tt=TTConfig(rank=4),
+                        min_rows=60, rng=0)
+    ds = SyntheticCTRDataset(SPEC, seed=0, noise=0.7)
+    Trainer(model, lr=0.1).train(ds.batches(64, 40))
+    return model, ds
+
+
+class TestPredictor:
+    def test_matches_model_forward(self, trained):
+        model, ds = trained
+        pred = Predictor(model)
+        batch = ds.batch(16)
+        np.testing.assert_allclose(
+            pred.predict_batch(batch),
+            model.predict_proba(batch.dense, batch.sparse),
+            atol=1e-12,
+        )
+
+    def test_probabilities_in_range(self, trained):
+        model, ds = trained
+        probs = Predictor(model).predict_batch(ds.batch(64))
+        assert np.all((probs > 0) & (probs < 1))
+
+    def test_quantized_serving_smaller_and_close(self, trained):
+        model, ds = trained
+        fp = Predictor(model)
+        q = Predictor(model, quantize_dense_bits=8)
+        assert q.serving_parameters() < fp.serving_parameters()
+        batch = ds.batch(128)
+        drift = np.abs(fp.predict_batch(batch) - q.predict_batch(batch)).max()
+        assert drift < 0.05  # int8 dequantization error is tiny
+
+    def test_quantization_leaves_original_model_intact(self, trained):
+        model, _ = trained
+        Predictor(model, quantize_dense_bits=4)
+        assert not any(isinstance(e, QuantizedEmbeddingBag)
+                       for e in model.embeddings)
+
+    def test_tt_tables_not_quantized(self, trained):
+        model, _ = trained
+        q = Predictor(model, quantize_dense_bits=4)
+        from repro.tt import TTEmbeddingBag
+
+        kinds = [type(e) for e in q._embeddings]
+        assert TTEmbeddingBag in kinds
+        assert QuantizedEmbeddingBag in kinds
+
+
+class TestRankCandidates:
+    def test_topk_sorted_and_within_candidates(self, trained):
+        model, _ = trained
+        pred = Predictor(model)
+        rng = np.random.default_rng(0)
+        user_sparse = [int(rng.integers(0, s)) for s in CFG.table_sizes]
+        table = SPEC.largest(1)[0]
+        cands = rng.choice(CFG.table_sizes[table], size=50, replace=False)
+        ids, probs = rank_candidates(
+            pred, user_dense=rng.normal(size=13), user_sparse=user_sparse,
+            candidate_table=table, candidate_ids=cands, top_k=5,
+        )
+        assert ids.shape == (5,)
+        assert set(ids) <= set(cands)
+        assert list(probs) == sorted(probs, reverse=True)
+
+    def test_topk_matches_full_scoring(self, trained):
+        model, _ = trained
+        pred = Predictor(model)
+        rng = np.random.default_rng(1)
+        user_sparse = [int(rng.integers(0, s)) for s in CFG.table_sizes]
+        table = SPEC.largest(1)[0]
+        cands = np.arange(30)
+        ids, probs = rank_candidates(
+            pred, user_dense=np.zeros(13), user_sparse=user_sparse,
+            candidate_table=table, candidate_ids=cands, top_k=30,
+        )
+        assert ids.shape == (30,)
+        assert probs[0] == probs.max()
+
+    def test_none_means_empty_bag(self, trained):
+        model, _ = trained
+        pred = Predictor(model)
+        user_sparse = [None] * CFG.num_tables
+        ids, probs = rank_candidates(
+            pred, user_dense=np.zeros(13), user_sparse=user_sparse,
+            candidate_table=0, candidate_ids=np.arange(3), top_k=2,
+        )
+        assert ids.shape == (2,)
+
+    def test_validation(self, trained):
+        model, _ = trained
+        pred = Predictor(model)
+        with pytest.raises(ValueError):
+            rank_candidates(pred, user_dense=np.zeros(13),
+                            user_sparse=[0] * CFG.num_tables,
+                            candidate_table=0,
+                            candidate_ids=np.array([], dtype=np.int64))
+        with pytest.raises(ValueError):
+            rank_candidates(pred, user_dense=np.zeros(13),
+                            user_sparse=[0] * 3, candidate_table=0,
+                            candidate_ids=np.arange(3))
+        with pytest.raises(ValueError):
+            rank_candidates(pred, user_dense=np.zeros(13),
+                            user_sparse=[0] * CFG.num_tables,
+                            candidate_table=99, candidate_ids=np.arange(3))
+
+
+class TestRowWiseAdagrad:
+    def test_one_accumulator_per_row(self):
+        p = Parameter(np.zeros((10, 4)), sparse=True)
+        opt = RowWiseAdagrad([p], lr=0.1)
+        assert opt._accum[id(p)].shape == (10,)
+
+    def test_touched_rows_only(self):
+        p = Parameter(np.ones((5, 2)), sparse=True)
+        p.grad[:] = 1.0
+        p.record_touched(np.array([1, 3]))
+        RowWiseAdagrad([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data[0], 1.0)
+        assert (p.data[1] != 1.0).all()
+        assert (p.data[3] != 1.0).all()
+
+    def test_first_step_magnitude(self):
+        """With uniform row gradient g, first update is -lr * g/|g| = -lr."""
+        p = Parameter(np.zeros((2, 3)), sparse=True)
+        p.grad[:] = 2.0
+        p.record_touched(np.array([0, 1]))
+        RowWiseAdagrad([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, -0.1, atol=1e-8)
+
+    def test_row_mean_normalisation_differs_from_elementwise(self):
+        """A row with one large and one small grad element: row-wise uses a
+        shared denominator, element-wise normalises each element."""
+        p1 = Parameter(np.zeros((1, 2)), sparse=True)
+        p2 = Parameter(np.zeros((1, 2)), sparse=True)
+        for p in (p1, p2):
+            p.grad[:] = [[3.0, 1.0]]
+            p.record_touched(np.array([0]))
+        RowWiseAdagrad([p1], lr=0.1).step()
+        Adagrad([p2], lr=0.1).step()
+        # element-wise: both elements move ~ -0.1; row-wise keeps the 3:1 ratio
+        ratio_rowwise = p1.data[0, 0] / p1.data[0, 1]
+        assert ratio_rowwise == pytest.approx(3.0)
+        assert p2.data[0, 0] == pytest.approx(p2.data[0, 1], rel=1e-6)
+
+    def test_dense_fallback(self):
+        p = Parameter(np.zeros(4), sparse=False)
+        p.grad[:] = 1.0
+        RowWiseAdagrad([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, -0.1, atol=1e-8)
+
+    def test_trains_dlrm(self):
+        model = build_dlrm(CFG, rng=0)
+        opt = RowWiseAdagrad(model.parameters(), lr=0.05)
+        trainer = Trainer(model, optimizer=opt)
+        ds = SyntheticCTRDataset(SPEC, seed=0, noise=0.7)
+        res = trainer.train(ds.batches(64, 60))
+        assert np.mean(res.losses[-10:]) < np.mean(res.losses[:10])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RowWiseAdagrad([Parameter(np.zeros(2))], lr=0.0)

@@ -1,0 +1,102 @@
+"""End-to-end integration tests: the paper's qualitative claims in miniature.
+
+These are slower than unit tests (each trains a small DLRM) but pin the
+behaviours the evaluation section depends on: TT-Rec trains to near-baseline
+accuracy, the cache recovers accuracy and serves hits, larger ranks help,
+and compressed models really are smaller.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import CachedTTEmbeddingBag
+from repro.data import KAGGLE, SyntheticCTRDataset
+from repro.models import DLRMConfig, TTConfig, build_dlrm, build_ttrec
+from repro.training import Trainer
+
+
+@pytest.fixture(scope="module")
+def setting():
+    spec = KAGGLE.scaled(0.0005)
+    cfg = DLRMConfig(table_sizes=spec.table_sizes, emb_dim=8,
+                     bottom_mlp=(32, 16), top_mlp=(32,))
+    return spec, cfg
+
+
+def run(model, spec, iters=250, seed=0):
+    ds = SyntheticCTRDataset(spec, seed=seed, noise=0.7)
+    trainer = Trainer(model, lr=0.1)
+    res = trainer.train(ds.batches(96, iters))
+    ev = trainer.evaluate(ds.batches(512, 6))
+    return res, ev
+
+
+@pytest.mark.slow
+class TestPaperClaims:
+    def test_ttrec_accuracy_near_baseline(self, setting):
+        """§6.2: TT-Rec accuracy loss is small vs the uncompressed baseline."""
+        spec, cfg = setting
+        _, base = run(build_dlrm(cfg, rng=0), spec)
+        _, tt = run(
+            build_ttrec(cfg, num_tt_tables=3, tt=TTConfig(rank=16),
+                        min_rows=300, rng=0),
+            spec,
+        )
+        assert base.auc > 0.65  # the task is learnable
+        assert tt.auc > base.auc - 0.03  # small degradation at most
+
+    def test_compression_is_real(self, setting):
+        spec, cfg = setting
+        base = build_dlrm(cfg, rng=0)
+        tt = build_ttrec(cfg, num_tt_tables=3, tt=TTConfig(rank=8),
+                         min_rows=300, rng=0)
+        assert tt.embedding_parameters() < base.embedding_parameters() / 2
+
+    def test_cache_serves_hits_and_matches_tt_accuracy(self, setting):
+        """§6.5: the LFU cache reaches a high hit rate under Zipf traffic
+        and does not hurt accuracy."""
+        spec, cfg = setting
+        tt_cfg = TTConfig(rank=16, use_cache=True, cache_fraction=0.02,
+                          warmup_steps=30, refresh_interval=100)
+        model = build_ttrec(cfg, num_tt_tables=3, tt=tt_cfg, min_rows=300, rng=0)
+        _, ev = run(model, spec)
+        cached = [e for e in model.embeddings if isinstance(e, CachedTTEmbeddingBag)]
+        assert cached, "expected at least one cached embedding"
+        for emb in cached:
+            assert emb.is_warm
+            assert emb.hit_rate() > 0.1
+        assert ev.auc > 0.64
+
+    def test_rank_sweep_quality_ordering(self, setting):
+        """§6.2: larger TT-ranks produce at-least-comparable models; rank 1
+        is clearly worse than rank 16 on a fresh (hard) table layout."""
+        spec, cfg = setting
+        evs = {}
+        for rank in (1, 16):
+            _, ev = run(
+                build_ttrec(cfg, num_tt_tables=3, tt=TTConfig(rank=rank),
+                            min_rows=300, rng=0),
+                spec, iters=250,
+            )
+            evs[rank] = ev.auc
+        assert evs[16] > evs[1] + 0.005
+
+    def test_deterministic_runs(self, setting):
+        spec, cfg = setting
+        _, a = run(build_dlrm(cfg, rng=0), spec, iters=40)
+        _, b = run(build_dlrm(cfg, rng=0), spec, iters=40)
+        assert a.accuracy == b.accuracy
+        assert a.bce == pytest.approx(b.bce)
+
+
+@pytest.mark.slow
+class TestTrainingWithPooling:
+    def test_pooling_factor_training(self, setting):
+        """§6.6 regime: bags with P>1 lookups still train correctly."""
+        spec, cfg = setting
+        ds = SyntheticCTRDataset(spec, seed=0, noise=0.7, pooling_factor=4.0)
+        model = build_ttrec(cfg, num_tt_tables=3, tt=TTConfig(rank=8),
+                            min_rows=300, rng=0)
+        trainer = Trainer(model, lr=0.05)
+        res = trainer.train(ds.batches(64, 120))
+        assert np.mean(res.losses[-20:]) < np.mean(res.losses[:20])

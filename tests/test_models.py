@@ -1,0 +1,164 @@
+"""Tests for DLRMConfig, the DLRM model (with full gradient check) and factories."""
+
+import numpy as np
+import pytest
+
+from repro.cache import CachedTTEmbeddingBag
+from repro.models import DLRM, DLRMConfig, TTConfig, build_dlrm, build_ttrec, largest_tables
+from repro.ops import EmbeddingBag
+from repro.tt import TTEmbeddingBag
+from tests.helpers import numeric_grad_check, random_csr
+
+SIZES = (500, 40, 300, 8, 200)
+
+
+@pytest.fixture
+def config():
+    return DLRMConfig(table_sizes=SIZES, num_dense=5, emb_dim=4,
+                      bottom_mlp=(8,), top_mlp=(8,))
+
+
+def make_batch(rng, config, batch=6):
+    dense = rng.normal(size=(batch, config.num_dense))
+    sparse = [random_csr(rng, s, batch, allow_empty=False) for s in config.table_sizes]
+    labels = (rng.random(batch) > 0.5).astype(float)
+    return dense, sparse, labels
+
+
+class TestConfig:
+    def test_dims(self, config):
+        assert config.bottom_sizes() == [5, 8, 4]
+        f = 6
+        assert config.interaction_dim() == 4 + f * (f - 1) // 2
+        assert config.top_sizes() == [config.interaction_dim(), 8, 1]
+
+    def test_cat_interaction_dim(self, config):
+        cat = config.with_(interaction="cat")
+        assert cat.interaction_dim() == 4 * 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DLRMConfig(table_sizes=())
+        with pytest.raises(ValueError):
+            DLRMConfig(table_sizes=(0,))
+        with pytest.raises(ValueError):
+            DLRMConfig(table_sizes=(5,), emb_dim=0)
+        with pytest.raises(ValueError):
+            DLRMConfig(table_sizes=(5,), interaction="sum")
+        with pytest.raises(ValueError):
+            DLRMConfig(table_sizes=(5,), tt_tables={3: TTConfig()})
+
+    def test_ttconfig_validation(self):
+        with pytest.raises(ValueError):
+            TTConfig(rank=0)
+        with pytest.raises(ValueError):
+            TTConfig(d=1)
+
+    def test_with_replaces(self, config):
+        c2 = config.with_(emb_dim=8)
+        assert c2.emb_dim == 8 and config.emb_dim == 4
+
+
+class TestLargestTables:
+    def test_selects_by_size(self):
+        assert largest_tables(SIZES, 2) == [0, 2]
+
+    def test_tie_break_by_index(self):
+        assert largest_tables((5, 5, 5), 2) == [0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            largest_tables(SIZES, -1)
+
+
+class TestFactories:
+    def test_baseline_all_dense(self, config):
+        model = build_dlrm(config, rng=0)
+        assert all(isinstance(e, EmbeddingBag) for e in model.embeddings)
+
+    def test_ttrec_compresses_largest(self, config):
+        model = build_ttrec(config, num_tt_tables=2, tt=TTConfig(rank=2),
+                            min_rows=100, rng=0)
+        kinds = [type(e) for e in model.embeddings]
+        assert kinds[0] is TTEmbeddingBag
+        assert kinds[2] is TTEmbeddingBag
+        assert kinds[1] is EmbeddingBag
+
+    def test_min_rows_skips_small(self, config):
+        model = build_ttrec(config, num_tt_tables=5, tt=TTConfig(rank=2),
+                            min_rows=250, rng=0)
+        tt_count = sum(isinstance(e, TTEmbeddingBag) for e in model.embeddings)
+        assert tt_count == 2  # only 500 and 300 pass
+
+    def test_cache_variant(self, config):
+        tt = TTConfig(rank=2, use_cache=True, cache_size=4, warmup_steps=1)
+        model = build_ttrec(config, num_tt_tables=1, tt=tt, min_rows=100, rng=0)
+        assert isinstance(model.embeddings[0], CachedTTEmbeddingBag)
+
+    def test_ttrec_smaller_than_baseline(self, config):
+        base = build_dlrm(config, rng=0)
+        tt = build_ttrec(config, num_tt_tables=2, tt=TTConfig(rank=2),
+                         min_rows=100, rng=0)
+        assert tt.embedding_parameters() < base.embedding_parameters()
+
+
+class TestDLRMForwardBackward:
+    def test_forward_shape(self, config):
+        rng = np.random.default_rng(0)
+        model = build_dlrm(config, rng=0)
+        dense, sparse, _ = make_batch(rng, config)
+        logits = model.forward(dense, sparse)
+        assert logits.shape == (6,)
+
+    def test_wrong_sparse_count_rejected(self, config):
+        rng = np.random.default_rng(0)
+        model = build_dlrm(config, rng=0)
+        dense, sparse, _ = make_batch(rng, config)
+        with pytest.raises(ValueError):
+            model.forward(dense, sparse[:-1])
+
+    def test_wrong_bag_count_rejected(self, config):
+        rng = np.random.default_rng(0)
+        model = build_dlrm(config, rng=0)
+        dense, sparse, _ = make_batch(rng, config)
+        bad = list(sparse)
+        idx, off = bad[0]
+        bad[0] = (idx[:off[-2]], off[:-1])  # one bag short
+        with pytest.raises(ValueError):
+            model.forward(dense, bad)
+
+    def test_wrong_embedding_count_rejected(self, config):
+        with pytest.raises(ValueError):
+            DLRM(config, embeddings=[EmbeddingBag(10, 4, rng=0)], rng=0)
+
+    @pytest.mark.parametrize("interaction", ["dot", "cat"])
+    def test_full_model_gradients(self, config, interaction):
+        """End-to-end gradient check: every parameter of every component."""
+        cfg = config.with_(interaction=interaction,
+                           tt_tables={0: TTConfig(rank=2)})
+        rng = np.random.default_rng(30)
+        model = build_dlrm(cfg, rng=0)
+        dense, sparse, _ = make_batch(rng, cfg, batch=4)
+        r = rng.normal(size=4)
+
+        def loss():
+            return float((model.forward(dense, sparse) * r).sum())
+
+        model.zero_grad()
+        model.forward(dense, sparse)
+        model.backward(r)
+        for p in model.parameters():
+            numeric_grad_check(p.data, p.grad, loss, samples=6, rtol=5e-4)
+
+    def test_predict_proba_range(self, config):
+        rng = np.random.default_rng(1)
+        model = build_dlrm(config, rng=0)
+        dense, sparse, _ = make_batch(rng, config)
+        p = model.predict_proba(dense, sparse)
+        assert np.all((p > 0) & (p < 1))
+
+    def test_parameter_accounting(self, config):
+        model = build_dlrm(config, rng=0)
+        assert model.embedding_parameters() == sum(SIZES) * 4
+        total = sum(p.size for p in model.parameters())
+        assert total == model.embedding_parameters() + model.mlp_parameters()

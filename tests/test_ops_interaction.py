@@ -1,0 +1,83 @@
+"""Tests for the DLRM feature-interaction operators."""
+
+import numpy as np
+import pytest
+
+from repro.ops import CatInteraction, DotInteraction
+from tests.helpers import numeric_grad_check
+
+
+class TestDotInteraction:
+    def test_output_dim(self):
+        assert DotInteraction.output_dim(dense_dim=16, num_sparse=26) == 16 + 27 * 26 // 2
+
+    def test_forward_matches_manual_pairs(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3))
+        a = rng.normal(size=(2, 3))
+        b = rng.normal(size=(2, 3))
+        out = DotInteraction().forward(x, [a, b])
+        assert out.shape == (2, 3 + 3)
+        for s in range(2):
+            np.testing.assert_allclose(out[s, :3], x[s])
+            # strictly-lower-triangle order over features [x, a, b]:
+            # pairs (a,x), (b,x), (b,a)
+            np.testing.assert_allclose(out[s, 3], a[s] @ x[s])
+            np.testing.assert_allclose(out[s, 4], b[s] @ x[s])
+            np.testing.assert_allclose(out[s, 5], b[s] @ a[s])
+
+    def test_no_self_interaction_terms(self):
+        x = np.ones((1, 4))
+        out = DotInteraction().forward(x, [])
+        # With no sparse features there are no pairs at all.
+        assert out.shape == (1, 4)
+
+    def test_shape_mismatch_rejected(self):
+        inter = DotInteraction()
+        with pytest.raises(ValueError):
+            inter.forward(np.ones((2, 3)), [np.ones((2, 4))])
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            DotInteraction().backward(np.ones((1, 3)))
+
+    def test_gradients(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(3, 4))
+        sparse = [rng.normal(size=(3, 4)) for _ in range(3)]
+        inter = DotInteraction()
+        r = rng.normal(size=(3, DotInteraction.output_dim(4, 3)))
+
+        def loss():
+            return float((inter.forward(x, sparse) * r).sum())
+
+        inter.forward(x, sparse)
+        grad_x, grad_sparse = inter.backward(r)
+        numeric_grad_check(x, grad_x, loss, samples=12)
+        for v, g in zip(sparse, grad_sparse):
+            numeric_grad_check(v, g, loss, samples=8)
+
+
+class TestCatInteraction:
+    def test_forward_concatenates(self):
+        x = np.ones((2, 2))
+        a = 2 * np.ones((2, 2))
+        out = CatInteraction().forward(x, [a])
+        np.testing.assert_array_equal(out, [[1, 1, 2, 2], [1, 1, 2, 2]])
+
+    def test_output_dim(self):
+        assert CatInteraction.output_dim(16, 26) == 16 * 27
+
+    def test_backward_splits(self):
+        inter = CatInteraction()
+        x = np.zeros((2, 2))
+        a = np.zeros((2, 3))
+        inter.forward(x, [a])
+        g = np.arange(10.0).reshape(2, 5)
+        gx, gs = inter.backward(g)
+        np.testing.assert_array_equal(gx, g[:, :2])
+        np.testing.assert_array_equal(gs[0], g[:, 2:])
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            CatInteraction().backward(np.ones((1, 2)))

@@ -1,0 +1,189 @@
+"""Gradient and behaviour tests for Linear, activations, MLP and loss."""
+
+import numpy as np
+import pytest
+
+from repro.ops import MLP, BCEWithLogitsLoss, Linear, ReLU, Sigmoid, bce_with_logits
+from tests.helpers import numeric_grad_check
+
+
+class TestLinear:
+    def test_forward_shape_and_value(self):
+        layer = Linear(3, 2, rng=0)
+        x = np.ones((4, 3))
+        out = layer.forward(x)
+        assert out.shape == (4, 2)
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(out, expected)
+
+    def test_rejects_bad_input_shape(self):
+        layer = Linear(3, 2, rng=0)
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((4, 5)))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Linear(2, 2, rng=0).backward(np.ones((1, 2)))
+
+    def test_weight_gradient(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(4, 3, rng=0)
+        x = rng.normal(size=(5, 4))
+        r = rng.normal(size=(5, 3))
+
+        def loss():
+            return float((layer.forward(x) * r).sum())
+
+        layer.forward(x)
+        layer.backward(r)
+        numeric_grad_check(layer.weight.data, layer.weight.grad, loss)
+        numeric_grad_check(layer.bias.data, layer.bias.grad, loss)
+
+    def test_input_gradient(self):
+        rng = np.random.default_rng(2)
+        layer = Linear(4, 3, rng=0)
+        x = rng.normal(size=(5, 4))
+        r = rng.normal(size=(5, 3))
+        layer.forward(x)
+        grad_in = layer.backward(r)
+
+        def loss():
+            return float((layer.forward(x) * r).sum())
+
+        numeric_grad_check(x, grad_in, loss)
+
+    def test_gradient_accumulates(self):
+        layer = Linear(2, 2, rng=0)
+        x = np.ones((1, 2))
+        layer.forward(x)
+        layer.backward(np.ones((1, 2)))
+        g1 = layer.weight.grad.copy()
+        layer.forward(x)
+        layer.backward(np.ones((1, 2)))
+        np.testing.assert_allclose(layer.weight.grad, 2 * g1)
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 2)
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        relu = ReLU()
+        out = relu.forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_relu_backward_mask(self):
+        relu = ReLU()
+        relu.forward(np.array([[-1.0, 3.0]]))
+        grad = relu.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_array_equal(grad, [[0.0, 5.0]])
+
+    def test_sigmoid_extreme_stability(self):
+        sig = Sigmoid()
+        out = sig.forward(np.array([[-1000.0, 0.0, 1000.0]]))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [[0.0, 0.5, 1.0]], atol=1e-12)
+
+    def test_sigmoid_gradient(self):
+        sig = Sigmoid()
+        x = np.linspace(-3, 3, 7).reshape(1, -1)
+        r = np.ones_like(x)
+
+        def loss():
+            return float((sig.forward(x) * r).sum())
+
+        sig.forward(x)
+        grad = sig.backward(r)
+        numeric_grad_check(x, grad, loss, samples=7)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.ones((1, 1)))
+        with pytest.raises(RuntimeError):
+            Sigmoid().backward(np.ones((1, 1)))
+
+
+class TestMLP:
+    def test_stack_shapes(self):
+        mlp = MLP([5, 8, 3], rng=0)
+        assert mlp.in_features == 5 and mlp.out_features == 3
+        out = mlp.forward(np.zeros((2, 5)))
+        assert out.shape == (2, 3)
+
+    def test_rejects_short_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_rejects_bad_last(self):
+        with pytest.raises(ValueError):
+            MLP([4, 2], last="tanh")
+
+    def test_end_to_end_gradient(self):
+        rng = np.random.default_rng(3)
+        mlp = MLP([4, 6, 2], rng=0)
+        x = rng.normal(size=(3, 4))
+        r = rng.normal(size=(3, 2))
+
+        def loss():
+            return float((mlp.forward(x) * r).sum())
+
+        mlp.forward(x)
+        grad_in = mlp.backward(r)
+        for p in mlp.parameters():
+            numeric_grad_check(p.data, p.grad, loss, samples=10)
+        numeric_grad_check(x, grad_in, loss, samples=10)
+
+    def test_sigmoid_last_layer(self):
+        mlp = MLP([3, 2], last="sigmoid", rng=0)
+        out = mlp.forward(np.zeros((2, 3)))
+        assert np.all((out > 0) & (out < 1))
+
+    def test_parameter_count(self):
+        mlp = MLP([4, 6, 2], rng=0)
+        assert mlp.num_parameters() == 4 * 6 + 6 + 6 * 2 + 2
+
+
+class TestBCEWithLogits:
+    def test_known_value(self):
+        loss, _ = bce_with_logits(np.zeros(4), np.array([0, 1, 0, 1.0]))
+        np.testing.assert_allclose(loss, np.log(2.0))
+
+    def test_gradient_formula(self):
+        logits = np.array([0.5, -1.0, 2.0])
+        targets = np.array([1.0, 0.0, 1.0])
+        _, grad = bce_with_logits(logits, targets)
+        probs = 1 / (1 + np.exp(-logits))
+        np.testing.assert_allclose(grad, (probs - targets) / 3)
+
+    def test_numeric_gradient(self):
+        rng = np.random.default_rng(4)
+        logits = rng.normal(size=6)
+        targets = (rng.random(6) > 0.5).astype(float)
+        _, grad = bce_with_logits(logits, targets)
+
+        def loss():
+            return bce_with_logits(logits, targets)[0]
+
+        numeric_grad_check(logits, grad, loss, samples=6)
+
+    def test_extreme_logits_finite(self):
+        loss, grad = bce_with_logits(np.array([1000.0, -1000.0]), np.array([1.0, 0.0]))
+        assert np.isfinite(loss) and np.all(np.isfinite(grad))
+        assert loss < 1e-6
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            bce_with_logits(np.zeros(3), np.zeros(4))
+
+    def test_empty_batch(self):
+        with pytest.raises(ValueError):
+            bce_with_logits(np.zeros(0), np.zeros(0))
+
+    def test_object_wrapper(self):
+        crit = BCEWithLogitsLoss()
+        with pytest.raises(RuntimeError):
+            crit.backward()
+        loss = crit.forward(np.zeros(2), np.ones(2))
+        assert loss == pytest.approx(np.log(2.0))
+        assert crit.backward().shape == (2,)

@@ -1,0 +1,156 @@
+"""Tests for Parameter/Module bookkeeping and the optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.ops import SGD, Adagrad, Linear, SparseSGD
+from repro.ops.module import Module, Parameter
+
+
+class TestParameter:
+    def test_grad_starts_zero(self):
+        p = Parameter(np.ones((2, 3)))
+        assert p.grad.shape == (2, 3)
+        assert not p.grad.any()
+
+    def test_zero_grad_resets_touched(self):
+        p = Parameter(np.ones((4, 2)), sparse=True)
+        p.record_touched(np.array([1, 3]))
+        p.zero_grad()
+        assert p.touched_rows is None
+
+    def test_record_touched_unions(self):
+        p = Parameter(np.ones((5, 1)), sparse=True)
+        p.record_touched(np.array([3, 1, 3]))
+        p.record_touched(np.array([0]))
+        np.testing.assert_array_equal(p.touched_rows, [0, 1, 3])
+
+    def test_data_is_float64_contiguous(self):
+        p = Parameter(np.ones((2, 2), dtype=np.float32).T)
+        assert p.data.dtype == np.float64
+        assert p.data.flags.c_contiguous
+
+
+class TestModule:
+    def test_collects_nested_and_lists(self):
+        class Inner(Module):
+            def __init__(self):
+                self.w = Parameter(np.zeros(2), name="inner.w")
+
+        class Outer(Module):
+            def __init__(self):
+                self.a = Parameter(np.zeros(3), name="a")
+                self.inner = Inner()
+                self.items = [Inner(), Parameter(np.zeros(1), name="loose")]
+
+        params = Outer().parameters()
+        assert {p.name for p in params} == {"a", "inner.w", "loose"}
+        # one inner.w from the attr, one from the list
+        assert len(params) == 4
+
+    def test_shared_parameter_collected_once(self):
+        shared = Parameter(np.zeros(2), name="shared")
+
+        class M(Module):
+            def __init__(self):
+                self.a = shared
+                self.b = shared
+
+        assert len(M().parameters()) == 1
+
+    def test_num_parameters_and_bytes(self):
+        layer = Linear(3, 4, rng=0)
+        assert layer.num_parameters() == 3 * 4 + 4
+        assert layer.bytes() == 4 * (3 * 4 + 4)
+
+    def test_zero_grad_all(self):
+        layer = Linear(2, 2, rng=0)
+        layer.weight.grad += 1.0
+        layer.zero_grad()
+        assert not layer.weight.grad.any()
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = Parameter(np.array([1.0, 2.0]))
+        p.grad[:] = [0.5, -0.5]
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 2.05])
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [1.0 - 0.1 * 0.5])
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad[:] = 1.0
+        opt.step()
+        np.testing.assert_allclose(p.data, [-1.0])
+        opt.step()  # velocity = 0.9*1 + 1 = 1.9
+        np.testing.assert_allclose(p.data, [-2.9])
+
+    def test_rejects_bad_hparams(self):
+        p = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.0)
+
+    def test_zero_grad(self):
+        p = Parameter(np.zeros(2))
+        p.grad += 3.0
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert not p.grad.any()
+
+
+class TestSparseSGD:
+    def test_touches_only_recorded_rows(self):
+        p = Parameter(np.ones((4, 2)), sparse=True)
+        p.grad[:] = 1.0  # grads exist everywhere, but only rows 1,2 touched
+        p.record_touched(np.array([1, 2]))
+        SparseSGD([p], lr=0.5).step()
+        np.testing.assert_allclose(p.data[0], [1.0, 1.0])
+        np.testing.assert_allclose(p.data[1], [0.5, 0.5])
+        np.testing.assert_allclose(p.data[3], [1.0, 1.0])
+
+    def test_dense_fallback(self):
+        p = Parameter(np.ones(3), sparse=False)
+        p.grad[:] = 1.0
+        SparseSGD([p], lr=0.5).step()
+        np.testing.assert_allclose(p.data, 0.5)
+
+    def test_sparse_without_touch_updates_all(self):
+        p = Parameter(np.ones(3), sparse=True)
+        p.grad[:] = 1.0
+        SparseSGD([p], lr=1.0).step()
+        np.testing.assert_allclose(p.data, 0.0)
+
+
+class TestAdagrad:
+    def test_first_step_is_lr_sign(self):
+        p = Parameter(np.array([0.0]))
+        p.grad[:] = 2.0
+        Adagrad([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [-0.1], atol=1e-8)
+
+    def test_accumulator_shrinks_steps(self):
+        p = Parameter(np.array([0.0]))
+        opt = Adagrad([p], lr=0.1)
+        p.grad[:] = 1.0
+        opt.step()
+        first = abs(p.data[0])
+        before = p.data[0]
+        opt.step()
+        second = abs(p.data[0] - before)
+        assert second < first
+
+    def test_sparse_rows_only(self):
+        p = Parameter(np.zeros((3, 1)), sparse=True)
+        p.grad[:] = 1.0
+        p.record_touched(np.array([2]))
+        Adagrad([p], lr=0.1).step()
+        assert p.data[0, 0] == 0.0
+        assert p.data[2, 0] != 0.0

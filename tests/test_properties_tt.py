@@ -1,0 +1,176 @@
+"""Deeper property-based tests for TT algebra invariants.
+
+These pin mathematical identities the kernels must satisfy for *any*
+cores and inputs — multilinearity in each core, scale equivariance,
+gradient additivity across batches, and agreement between the three
+independent evaluation paths (batched kernel, per-row reference, dense
+reconstruction).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tt import TTEmbeddingBag, TTShape, tt_reconstruct, tt_svd
+from repro.tt.kernels import tt_lookup_reference
+
+SHAPE = TTShape.with_uniform_rank(60, 8, (3, 4, 5), (2, 2, 2), rank=4)
+
+
+def fresh_emb(seed: int) -> TTEmbeddingBag:
+    return TTEmbeddingBag(60, 8, shape=SHAPE, rng=seed)
+
+
+seeds = st.integers(min_value=0, max_value=2 ** 31)
+
+
+class TestMultilinearity:
+    """The TT map is linear in each core separately."""
+
+    @given(seeds, st.integers(min_value=0, max_value=2))
+    @settings(max_examples=30, deadline=None)
+    def test_scaling_one_core_scales_output(self, seed, core_idx):
+        rng = np.random.default_rng(seed)
+        emb = fresh_emb(seed)
+        idx = rng.integers(0, 60, size=10)
+        base = emb.lookup(idx)
+        emb.cores[core_idx].data *= 2.5
+        np.testing.assert_allclose(emb.lookup(idx), 2.5 * base, rtol=1e-10)
+
+    @given(seeds, st.integers(min_value=0, max_value=2))
+    @settings(max_examples=30, deadline=None)
+    def test_additivity_in_one_core(self, seed, core_idx):
+        rng = np.random.default_rng(seed)
+        emb = fresh_emb(seed)
+        idx = rng.integers(0, 60, size=8)
+        delta = rng.normal(size=emb.cores[core_idx].data.shape)
+
+        original = emb.cores[core_idx].data.copy()
+        base = emb.lookup(idx)
+        emb.cores[core_idx].data[...] = delta
+        only_delta = emb.lookup(idx)
+        emb.cores[core_idx].data[...] = original + delta
+        combined = emb.lookup(idx)
+        np.testing.assert_allclose(combined, base + only_delta, atol=1e-9)
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_global_scaling_is_product_of_core_scalings(self, seed):
+        rng = np.random.default_rng(seed)
+        emb = fresh_emb(seed)
+        idx = rng.integers(0, 60, size=5)
+        base = emb.lookup(idx)
+        for p in emb.cores:
+            p.data *= -1.0
+        # (-1)^3 = -1 for d=3
+        np.testing.assert_allclose(emb.lookup(idx), -base, rtol=1e-10)
+
+
+class TestEvaluationPathAgreement:
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_three_paths_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        emb = fresh_emb(seed)
+        idx = rng.integers(0, 60, size=12)
+        fast = emb.lookup(idx)
+        slow = tt_lookup_reference([p.data for p in emb.cores], SHAPE, idx)
+        dense = emb.materialize()[idx]
+        np.testing.assert_allclose(fast, slow, atol=1e-11)
+        np.testing.assert_allclose(fast, dense, atol=1e-11)
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_svd_of_materialization_roundtrips(self, seed):
+        """materialize -> tt_svd at the same ranks -> same table."""
+        emb = fresh_emb(seed)
+        table = emb.materialize()
+        # The table has TT-rank <= SHAPE.ranks by construction, so a
+        # same-rank TT-SVD reproduces it exactly.
+        cores = tt_svd(table, SHAPE)
+        np.testing.assert_allclose(tt_reconstruct(cores, SHAPE), table, atol=1e-9)
+
+
+class TestGradientStructure:
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_grad_additivity_across_batches(self, seed):
+        """backward(b1) + backward(b2) == backward over the union batch."""
+        rng = np.random.default_rng(seed)
+        emb = fresh_emb(seed)
+        idx1 = rng.integers(0, 60, size=6)
+        idx2 = rng.integers(0, 60, size=4)
+        g1 = rng.normal(size=(6, 8))
+        g2 = rng.normal(size=(4, 8))
+
+        emb.zero_grad()
+        emb.forward(idx1)
+        emb.backward(g1)
+        emb.forward(idx2)
+        emb.backward(g2)
+        accumulated = [p.grad.copy() for p in emb.cores]
+
+        emb.zero_grad()
+        emb.forward(np.concatenate([idx1, idx2]))
+        emb.backward(np.vstack([g1, g2]))
+        for acc, union in zip(accumulated, (p.grad for p in emb.cores)):
+            np.testing.assert_allclose(acc, union, atol=1e-10)
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_grad_linear_in_upstream(self, seed):
+        rng = np.random.default_rng(seed)
+        emb = fresh_emb(seed)
+        idx = rng.integers(0, 60, size=5)
+        g = rng.normal(size=(5, 8))
+
+        emb.zero_grad()
+        emb.forward(idx)
+        emb.backward(g)
+        base = [p.grad.copy() for p in emb.cores]
+
+        emb.zero_grad()
+        emb.forward(idx)
+        emb.backward(3.0 * g)
+        for b, s in zip(base, (p.grad for p in emb.cores)):
+            np.testing.assert_allclose(s, 3.0 * b, atol=1e-10)
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_untouched_core_slices_have_zero_grad(self, seed):
+        rng = np.random.default_rng(seed)
+        emb = fresh_emb(seed)
+        idx = np.array([0])  # decodes to slice 0 of every core
+        emb.zero_grad()
+        emb.forward(idx)
+        emb.backward(np.ones((1, 8)))
+        for p in emb.cores:
+            assert not p.grad[1:].any()  # only slice 0 touched
+            assert p.grad[0].any()
+
+
+class TestCompressionMonotonicity:
+    @given(st.integers(min_value=1, max_value=12))
+    @settings(max_examples=12, deadline=None)
+    def test_truncated_svd_error_matches_discarded_singular_mass(self, rank):
+        """TT-SVD truncation error is governed by the discarded spectrum:
+        the Frobenius error is bounded by sqrt(sum of discarded sigma^2)
+        summed over unfoldings (Oseledets 2011, Thm 2.2)."""
+        rng = np.random.default_rng(7)
+        w = rng.normal(size=(60, 8))
+        shape = TTShape.with_uniform_rank(60, 8, (3, 4, 5), (2, 2, 2), rank)
+        rec = tt_reconstruct(tt_svd(w, shape), shape)
+        err = np.linalg.norm(rec - w)
+
+        # Oracle bound from the two unfoldings of the exact tensor.
+        from repro.tt.decomposition import _matrix_to_tensor
+
+        t = _matrix_to_tensor(w, shape)
+        bound_sq = 0.0
+        for split in (1, 2):
+            rows = int(np.prod(t.shape[:split]))
+            s = np.linalg.svd(t.reshape(rows, -1), compute_uv=False)
+            r = shape.ranks[split]
+            bound_sq += float((s[r:] ** 2).sum())
+        assert err <= np.sqrt(bound_sq) + 1e-9

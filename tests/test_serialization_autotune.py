@@ -1,0 +1,146 @@
+"""Tests for model checkpointing and the rank auto-tuner."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.autotune import plan_compression
+from repro.data import KAGGLE
+from repro.models import DLRMConfig, TTConfig, build_dlrm, build_ttrec
+from repro.models.serialization import (
+    load_model,
+    load_state_dict,
+    save_model,
+    state_dict,
+)
+from repro.ops.module import Module, Parameter
+
+SIZES = (500, 40, 300, 8, 200)
+CFG = DLRMConfig(table_sizes=SIZES, num_dense=5, emb_dim=4,
+                 bottom_mlp=(8,), top_mlp=(8,))
+
+
+class TestStateDict:
+    def test_roundtrip_in_memory(self):
+        model = build_ttrec(CFG, num_tt_tables=2, tt=TTConfig(rank=2),
+                            min_rows=100, rng=0)
+        state = state_dict(model)
+        fresh = build_ttrec(CFG, num_tt_tables=2, tt=TTConfig(rank=2),
+                            min_rows=100, rng=99)
+        load_state_dict(fresh, state)
+        for a, b in zip(model.parameters(), fresh.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_values_are_copies(self):
+        model = build_dlrm(CFG, rng=0)
+        state = state_dict(model)
+        first_key = next(iter(state))
+        state[first_key][...] = 42.0
+        assert not (model.parameters()[0].data == 42.0).all()
+
+    def test_duplicate_names_get_distinct_keys(self):
+        class Twins(Module):
+            def __init__(self):
+                self.a = Parameter(np.zeros(1), name="same")
+                self.b = Parameter(np.ones(2), name="same")
+
+        model = Twins()
+        state = state_dict(model)
+        assert len(state) == 2  # positional prefix disambiguates
+        fresh = Twins()
+        fresh.b.data[...] = 5.0
+        load_state_dict(fresh, state)
+        np.testing.assert_array_equal(fresh.b.data, np.ones(2))
+
+    def test_strict_mismatch_raises(self):
+        model = build_dlrm(CFG, rng=0)
+        state = state_dict(model)
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            load_state_dict(build_dlrm(CFG, rng=1), state)
+
+    def test_non_strict_reports_missing(self):
+        model = build_dlrm(CFG, rng=0)
+        state = state_dict(model)
+        removed = next(iter(state))
+        state.pop(removed)
+        missing = load_state_dict(build_dlrm(CFG, rng=1), state, strict=False)
+        assert missing == [removed]
+
+    def test_shape_mismatch_raises(self):
+        model = build_dlrm(CFG, rng=0)
+        state = state_dict(model)
+        name = next(iter(state))
+        state[name] = np.zeros((1, 1))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            load_state_dict(build_dlrm(CFG, rng=1), state, strict=False)
+
+
+class TestNpzRoundtrip:
+    def test_save_load_file(self, tmp_path):
+        model = build_ttrec(CFG, num_tt_tables=1, tt=TTConfig(rank=2),
+                            min_rows=100, rng=0)
+        path = tmp_path / "ckpt.npz"
+        save_model(model, path)
+        fresh = build_ttrec(CFG, num_tt_tables=1, tt=TTConfig(rank=2),
+                            min_rows=100, rng=7)
+        load_model(fresh, path)
+        rng = np.random.default_rng(0)
+        dense = rng.normal(size=(3, 5))
+        sparse = [(rng.integers(0, s, size=3), np.arange(4)) for s in SIZES]
+        np.testing.assert_allclose(
+            model.forward(dense, sparse), fresh.forward(dense, sparse)
+        )
+
+
+class TestPlanCompression:
+    def test_fits_budget(self):
+        plan = plan_compression(KAGGLE.table_sizes, 16,
+                                budget_params=10_000_000)
+        assert plan.total_params() <= 10_000_000
+        assert plan.compression_ratio() > 1
+
+    def test_tighter_budget_lower_rank_or_more_tables(self):
+        loose = plan_compression(KAGGLE.table_sizes, 16, budget_params=20_000_000)
+        tight = plan_compression(KAGGLE.table_sizes, 16, budget_params=2_000_000)
+        assert tight.total_params() <= 2_000_000
+        assert tight.compression_ratio() > loose.compression_ratio()
+
+    def test_compresses_largest_first(self):
+        plan = plan_compression(KAGGLE.table_sizes, 16, budget_params=300_000_000)
+        compressed = plan.compressed_indices()
+        if compressed:
+            largest = max(range(26), key=lambda i: KAGGLE.table_sizes[i])
+            assert largest in compressed
+
+    def test_small_tables_stay_dense(self):
+        plan = plan_compression(KAGGLE.table_sizes, 16, budget_params=5_000_000,
+                                min_rows=100_000)
+        for t in plan.tables:
+            if t.num_rows < 100_000:
+                assert not t.compress
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            plan_compression(KAGGLE.table_sizes, 16, budget_params=1_000)
+
+    def test_headline_budget_matches_paper_rank(self):
+        """~4.6M params (18.4 MB) should pick rank 32 over 7 tables —
+        the paper's headline configuration."""
+        plan = plan_compression(KAGGLE.table_sizes, 16, budget_params=4_600_000)
+        assert len(plan.compressed_indices()) >= 7
+        ranks = {t.rank for t in plan.tables if t.compress}
+        assert 16 <= max(ranks) <= 64
+
+    def test_rank_query(self):
+        plan = plan_compression(KAGGLE.table_sizes, 16, budget_params=10_000_000)
+        idx = plan.compressed_indices()[0]
+        assert plan.rank_for(idx) is not None
+        with pytest.raises(KeyError):
+            plan.rank_for(999)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_compression((100,), 16, budget_params=0)
+        with pytest.raises(ValueError):
+            plan_compression((100,), 16, budget_params=100,
+                             candidate_ranks=(8, 4))

@@ -1,0 +1,133 @@
+"""Tests for metrics and the Trainer loop."""
+
+import numpy as np
+import pytest
+
+from repro.data import KAGGLE, SyntheticCTRDataset
+from repro.models import DLRMConfig, build_dlrm
+from repro.training import Trainer
+from repro.training.metrics import accuracy, bce_loss, roc_auc
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        logits = np.array([5.0, -5.0, 5.0])
+        labels = np.array([1.0, 0.0, 1.0])
+        assert accuracy(logits, labels) == 1.0
+
+    def test_half(self):
+        assert accuracy(np.array([5.0, 5.0]), np.array([1.0, 0.0])) == 0.5
+
+    def test_custom_threshold(self):
+        logits = np.array([0.1])  # p ~ 0.525
+        assert accuracy(logits, np.array([1.0]), threshold=0.5) == 1.0
+        assert accuracy(logits, np.array([1.0]), threshold=0.6) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(2), np.zeros(3))
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(0), np.zeros(0))
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        assert roc_auc(np.array([1.0, 2.0, -1.0]), np.array([1, 1, 0.0])) == 1.0
+
+    def test_inverted(self):
+        assert roc_auc(np.array([-1.0, 1.0]), np.array([1, 0.0])) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=20_000)
+        labels = (rng.random(20_000) > 0.5).astype(float)
+        assert roc_auc(scores, labels) == pytest.approx(0.5, abs=0.02)
+
+    def test_ties_average(self):
+        # all scores equal -> AUC exactly 0.5 regardless of labels
+        assert roc_auc(np.zeros(10), np.array([1, 0] * 5, dtype=float)) == 0.5
+
+    def test_single_class(self):
+        assert roc_auc(np.array([1.0, 2.0]), np.array([1.0, 1.0])) == 0.5
+
+    def test_matches_pairwise_oracle(self):
+        rng = np.random.default_rng(1)
+        scores = rng.normal(size=50)
+        labels = (rng.random(50) > 0.5).astype(float)
+        pos = scores[labels == 1]
+        neg = scores[labels == 0]
+        wins = (pos[:, None] > neg[None, :]).sum() + 0.5 * (pos[:, None] == neg[None, :]).sum()
+        oracle = wins / (pos.size * neg.size)
+        assert roc_auc(scores, labels) == pytest.approx(oracle)
+
+
+class TestBCELoss:
+    def test_matches_training_loss(self):
+        logits = np.array([0.3, -0.7])
+        labels = np.array([1.0, 0.0])
+        # direct formula: softplus(z) - y*z
+        sp = np.log1p(np.exp(-np.abs(logits))) + np.maximum(logits, 0)
+        expected = float(np.mean(sp - labels * logits))
+        assert bce_loss(logits, labels) == pytest.approx(expected)
+
+
+class TestTrainer:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        spec = KAGGLE.scaled(0.0003)
+        ds = SyntheticCTRDataset(spec, seed=0, noise=0.6)
+        cfg = DLRMConfig(table_sizes=spec.table_sizes, emb_dim=8,
+                         bottom_mlp=(16,), top_mlp=(16,))
+        return spec, ds, cfg
+
+    def test_loss_decreases(self, setup):
+        _, ds, cfg = setup
+        trainer = Trainer(build_dlrm(cfg, rng=0), lr=0.1)
+        res = trainer.train(ds.batches(64, 120))
+        assert res.iterations == 120
+        early = float(np.mean(res.losses[:20]))
+        late = res.smoothed_loss(20)
+        assert late < early - 0.02
+
+    def test_max_iters_truncates(self, setup):
+        _, ds, cfg = setup
+        trainer = Trainer(build_dlrm(cfg, rng=0), lr=0.1)
+        res = trainer.train(ds.batches(32, 50), max_iters=5)
+        assert res.iterations == 5
+
+    def test_timing_recorded(self, setup):
+        _, ds, cfg = setup
+        trainer = Trainer(build_dlrm(cfg, rng=0), lr=0.1)
+        res = trainer.train(ds.batches(32, 5))
+        assert res.total_time_s > 0
+        assert res.ms_per_iter > 0
+
+    def test_evaluate_better_than_chance_after_training(self, setup):
+        _, ds, cfg = setup
+        trainer = Trainer(build_dlrm(cfg, rng=0), lr=0.1)
+        trainer.train(ds.batches(64, 150))
+        ev = trainer.evaluate(ds.batches(256, 8))
+        assert ev.num_samples == 2048
+        assert ev.auc > 0.62
+        assert ev.accuracy > 0.55
+
+    def test_evaluate_empty_raises(self, setup):
+        _, ds, cfg = setup
+        trainer = Trainer(build_dlrm(cfg, rng=0), lr=0.1)
+        with pytest.raises(ValueError):
+            trainer.evaluate([])
+
+    def test_log_callback(self, setup):
+        _, ds, cfg = setup
+        trainer = Trainer(build_dlrm(cfg, rng=0), lr=0.1)
+        logged = []
+        trainer.train(ds.batches(16, 4), log_every=2, log_fn=logged.append)
+        assert len(logged) == 2
+
+    def test_empty_result_properties(self):
+        from repro.training import TrainResult
+
+        res = TrainResult()
+        assert res.ms_per_iter == 0.0
+        assert np.isnan(res.final_loss)
+        assert np.isnan(res.smoothed_loss())

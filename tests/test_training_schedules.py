@@ -1,0 +1,118 @@
+"""Tests for LR schedules and the scheduler wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.ops import SGD
+from repro.ops.module import Parameter
+from repro.training.schedules import (
+    LRScheduler,
+    constant_schedule,
+    step_decay_schedule,
+    warmup_poly_decay_schedule,
+)
+
+
+class TestConstant:
+    def test_always_one(self):
+        s = constant_schedule()
+        assert s(0) == s(10) == s(10_000) == 1.0
+
+
+class TestWarmupPolyDecay:
+    def test_linear_warmup(self):
+        s = warmup_poly_decay_schedule(warmup_steps=4, decay_start_step=10,
+                                       decay_steps=10)
+        assert s(0) == pytest.approx(0.25)
+        assert s(1) == pytest.approx(0.5)
+        assert s(3) == pytest.approx(1.0)
+
+    def test_plateau(self):
+        s = warmup_poly_decay_schedule(warmup_steps=2, decay_start_step=10,
+                                       decay_steps=10)
+        assert s(5) == 1.0
+        assert s(9) == 1.0
+
+    def test_quadratic_decay(self):
+        s = warmup_poly_decay_schedule(warmup_steps=0, decay_start_step=0,
+                                       decay_steps=10, power=2.0)
+        assert s(5) == pytest.approx(0.25)
+        assert s(10) == 0.0
+        assert s(100) == 0.0
+
+    def test_end_multiplier_floor(self):
+        s = warmup_poly_decay_schedule(warmup_steps=0, decay_start_step=0,
+                                       decay_steps=4, end_multiplier=0.1)
+        assert s(4) == pytest.approx(0.1)
+        assert s(2) > 0.1
+
+    def test_zero_decay_steps_never_decays(self):
+        s = warmup_poly_decay_schedule(warmup_steps=2, decay_start_step=5,
+                                       decay_steps=0)
+        assert s(1_000_000) == 1.0
+
+    def test_monotone_structure(self):
+        s = warmup_poly_decay_schedule(warmup_steps=10, decay_start_step=20,
+                                       decay_steps=30)
+        vals = [s(i) for i in range(60)]
+        assert vals[:10] == sorted(vals[:10])  # warmup ascending
+        assert vals[20:] == sorted(vals[20:], reverse=True)  # decay descending
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            warmup_poly_decay_schedule(warmup_steps=-1, decay_start_step=0,
+                                       decay_steps=0)
+        with pytest.raises(ValueError):
+            warmup_poly_decay_schedule(warmup_steps=10, decay_start_step=5,
+                                       decay_steps=0)
+        with pytest.raises(ValueError):
+            warmup_poly_decay_schedule(warmup_steps=0, decay_start_step=0,
+                                       decay_steps=1, end_multiplier=2.0)
+
+
+class TestStepDecay:
+    def test_staircase(self):
+        s = step_decay_schedule(decay_every=10, factor=0.5)
+        assert s(0) == 1.0
+        assert s(9) == 1.0
+        assert s(10) == 0.5
+        assert s(25) == 0.25
+
+    def test_floor(self):
+        s = step_decay_schedule(decay_every=1, factor=0.1, min_multiplier=1e-3)
+        assert s(100) == 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            step_decay_schedule(decay_every=0)
+        with pytest.raises(ValueError):
+            step_decay_schedule(decay_every=5, factor=1.0)
+
+
+class TestLRScheduler:
+    def test_sets_optimizer_lr(self):
+        p = Parameter(np.zeros(2))
+        opt = SGD([p], lr=0.2)
+        sched = LRScheduler(opt, warmup_poly_decay_schedule(
+            warmup_steps=2, decay_start_step=4, decay_steps=0))
+        assert sched.step() == pytest.approx(0.1)
+        assert opt.lr == pytest.approx(0.1)
+        assert sched.step() == pytest.approx(0.2)
+        sched.step()
+        assert sched.current_lr == pytest.approx(0.2)
+
+    def test_scheduled_training_actually_scales_updates(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=1.0)
+        sched = LRScheduler(opt, step_decay_schedule(decay_every=1, factor=0.5))
+        for _ in range(3):
+            p.grad[:] = 1.0
+            sched.step()
+            opt.step()
+            opt.zero_grad()
+        # updates: 1.0, 0.5, 0.25
+        assert p.data[0] == pytest.approx(-1.75)
+
+    def test_rejects_bad_optimizer(self):
+        with pytest.raises(TypeError):
+            LRScheduler(object(), constant_schedule())

@@ -1,0 +1,129 @@
+"""Tests for TT-SVD and reconstruction — the index-convention oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tt import TTShape, tt_reconstruct, tt_svd
+from repro.tt.decomposition import tt_full_tensor
+
+
+def full_rank_shape(m=(3, 4, 5), n=(2, 2, 2), rows=None):
+    rows = rows if rows is not None else int(np.prod(m))
+    return TTShape.with_uniform_rank(rows, int(np.prod(n)), m, n, rank=10_000)
+
+
+class TestRoundTrip:
+    def test_full_rank_exact(self):
+        rng = np.random.default_rng(0)
+        shape = full_rank_shape()
+        w = rng.normal(size=(60, 8))
+        rec = tt_reconstruct(tt_svd(w, shape), shape)
+        np.testing.assert_allclose(rec, w, atol=1e-12)
+
+    def test_padded_rows_roundtrip(self):
+        rng = np.random.default_rng(1)
+        shape = full_rank_shape(rows=55)
+        w = rng.normal(size=(55, 8))
+        rec = tt_reconstruct(tt_svd(w, shape), shape)
+        assert rec.shape == (55, 8)
+        np.testing.assert_allclose(rec, w, atol=1e-12)
+
+    def test_two_core_case(self):
+        rng = np.random.default_rng(2)
+        shape = TTShape.with_uniform_rank(12, 4, (3, 4), (2, 2), rank=100)
+        w = rng.normal(size=(12, 4))
+        np.testing.assert_allclose(tt_reconstruct(tt_svd(w, shape), shape), w, atol=1e-12)
+
+    def test_four_core_case(self):
+        rng = np.random.default_rng(3)
+        shape = TTShape.with_uniform_rank(
+            2 * 3 * 2 * 3, 16, (2, 3, 2, 3), (2, 2, 2, 2), rank=100
+        )
+        w = rng.normal(size=(36, 16))
+        np.testing.assert_allclose(tt_reconstruct(tt_svd(w, shape), shape), w, atol=1e-11)
+
+    @given(st.integers(min_value=0, max_value=2 ** 31))
+    @settings(max_examples=25, deadline=None)
+    def test_property_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        shape = full_rank_shape()
+        w = rng.normal(size=(shape.num_rows, shape.dim))
+        np.testing.assert_allclose(tt_reconstruct(tt_svd(w, shape), shape), w, atol=1e-11)
+
+
+class TestLowRank:
+    def test_rank_one_matrix_needs_rank_one(self):
+        rng = np.random.default_rng(4)
+        shape = TTShape.with_uniform_rank(60, 8, (3, 4, 5), (2, 2, 2), rank=1)
+        # Constant matrix is exactly TT-rank 1 in this pairing.
+        w = np.full((60, 8), 3.14)
+        rec = tt_reconstruct(tt_svd(w, shape), shape)
+        np.testing.assert_allclose(rec, w, atol=1e-12)
+
+    def test_truncation_reduces_error_monotonically(self):
+        rng = np.random.default_rng(5)
+        w = rng.normal(size=(60, 8))
+        errs = []
+        for rank in (1, 2, 4, 8, 16):
+            shape = TTShape.with_uniform_rank(60, 8, (3, 4, 5), (2, 2, 2), rank)
+            rec = tt_reconstruct(tt_svd(w, shape), shape)
+            errs.append(np.linalg.norm(rec - w))
+        assert all(a >= b - 1e-12 for a, b in zip(errs, errs[1:]))
+
+    def test_rtol_truncates(self):
+        rng = np.random.default_rng(6)
+        shape = full_rank_shape()
+        # A constant matrix is exactly TT-rank 1 in the paired layout;
+        # tiny noise is cut off by an aggressive rtol.
+        w = np.full((60, 8), 2.0) + 1e-10 * rng.normal(size=(60, 8))
+        cores = tt_svd(w, shape, rtol=1e-6)
+        assert cores[0].shape[-1] == 1
+        assert cores[1].shape[-1] == 1
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self):
+        shape = full_rank_shape()
+        with pytest.raises(ValueError):
+            tt_svd(np.zeros((10, 8)), shape)
+
+    def test_full_tensor_rank_mismatch(self):
+        shape = full_rank_shape()
+        cores = tt_svd(np.random.default_rng(0).normal(size=(60, 8)), shape)
+        bad = [cores[0], cores[1][:, :2], cores[2]]
+        with pytest.raises(ValueError):
+            tt_full_tensor(bad)
+
+    def test_full_tensor_requires_boundary_ranks(self):
+        rng = np.random.default_rng(7)
+        bad_first = [rng.normal(size=(3, 2, 2, 4)), rng.normal(size=(4, 4, 2, 2, 1))]
+        with pytest.raises(ValueError):
+            tt_full_tensor([rng.normal(size=(3, 2, 2, 4))] * 2)
+
+    def test_reconstruct_checks_output_shape(self):
+        shape = full_rank_shape()
+        rng = np.random.default_rng(8)
+        wrong = [
+            rng.normal(size=(3, 1, 2, 2)),
+            rng.normal(size=(4, 2, 2, 2)),
+            rng.normal(size=(4, 2, 2, 1)),  # m=4 instead of 5
+        ]
+        with pytest.raises(ValueError):
+            tt_reconstruct(wrong, shape)
+
+
+class TestConventionAgreement:
+    def test_svd_cores_are_storage_layout(self):
+        """tt_svd output loads directly into TTEmbeddingBag (mode-first)."""
+        from repro.tt import TTEmbeddingBag
+
+        rng = np.random.default_rng(9)
+        shape = full_rank_shape()
+        w = rng.normal(size=(60, 8))
+        cores = tt_svd(w, shape)
+        emb = TTEmbeddingBag(60, 8, shape=shape, rng=0)
+        emb.load_cores(cores)
+        idx = rng.integers(0, 60, size=30)
+        np.testing.assert_allclose(emb.lookup(idx), w[idx], atol=1e-11)

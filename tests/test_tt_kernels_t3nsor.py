@@ -1,0 +1,130 @@
+"""Tests for low-level kernels and the T3nsor-style baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tt import T3nsorEmbeddingBag, TTEmbeddingBag, TTShape
+from repro.tt.kernels import scatter_add_rows, tt_lookup_reference
+from tests.helpers import numeric_grad_check, random_csr
+
+
+class TestScatterAddRows:
+    def test_basic(self):
+        buf = np.zeros((4, 2))
+        scatter_add_rows(buf, np.array([1, 3]), np.array([[1.0, 2.0], [3.0, 4.0]]))
+        np.testing.assert_allclose(buf[1], [1, 2])
+        np.testing.assert_allclose(buf[3], [3, 4])
+
+    def test_duplicates_combine(self):
+        buf = np.zeros((3, 2))
+        rows = np.array([2, 2, 2, 0])
+        vals = np.arange(8.0).reshape(4, 2)
+        scatter_add_rows(buf, rows, vals)
+        np.testing.assert_allclose(buf[2], vals[:3].sum(axis=0))
+        np.testing.assert_allclose(buf[0], vals[3])
+
+    def test_nd_values(self):
+        buf = np.zeros((3, 2, 2))
+        vals = np.ones((2, 2, 2))
+        scatter_add_rows(buf, np.array([1, 1]), vals)
+        np.testing.assert_allclose(buf[1], 2 * np.ones((2, 2)))
+
+    def test_empty(self):
+        buf = np.zeros((3, 2))
+        scatter_add_rows(buf, np.array([], dtype=np.int64), np.zeros((0, 2)))
+        assert not buf.any()
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            scatter_add_rows(np.zeros((3, 2)), np.array([0]), np.zeros((2, 2)))
+
+    @given(st.integers(min_value=0, max_value=2 ** 31),
+           st.integers(min_value=1, max_value=50))
+    @settings(max_examples=50)
+    def test_matches_add_at(self, seed, n):
+        rng = np.random.default_rng(seed)
+        rows = rng.integers(0, 6, size=n)
+        vals = rng.normal(size=(n, 3))
+        a = np.zeros((6, 3))
+        b = np.zeros((6, 3))
+        scatter_add_rows(a, rows, vals)
+        np.add.at(b, rows, vals)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+
+class TestReferenceKernel:
+    def test_reference_matches_materialize(self):
+        shape = TTShape.with_uniform_rank(60, 8, (3, 4, 5), (2, 2, 2), 4)
+        emb = TTEmbeddingBag(60, 8, shape=shape, rng=0)
+        cores = [p.data for p in emb.cores]
+        idx = np.arange(60)
+        np.testing.assert_allclose(
+            tt_lookup_reference(cores, shape, idx), emb.materialize(), atol=1e-12
+        )
+
+
+class TestT3nsorBaseline:
+    @pytest.fixture
+    def shape(self):
+        return TTShape.with_uniform_rank(60, 8, (3, 4, 5), (2, 2, 2), rank=4)
+
+    def test_forward_matches_ttrec_kernel(self, shape):
+        """Same cores -> same lookups: only the strategy differs."""
+        t3 = T3nsorEmbeddingBag(60, 8, shape=shape, rng=0)
+        tt = TTEmbeddingBag(60, 8, shape=shape, rng=1)
+        tt.load_cores([p.data.copy() for p in t3.cores])
+        idx = np.array([0, 5, 59, 5])
+        off = np.array([0, 2, 4])
+        np.testing.assert_allclose(
+            t3.forward(idx, off), tt.forward(idx, off), atol=1e-12
+        )
+
+    def test_peak_activation_is_full_table(self, shape):
+        t3 = T3nsorEmbeddingBag(60, 8, shape=shape, rng=0)
+        assert t3.peak_activation_elements == shape.padded_rows * 8
+
+    def test_backward_gradients(self, shape):
+        rng = np.random.default_rng(13)
+        t3 = T3nsorEmbeddingBag(60, 8, shape=shape, rng=0)
+        idx, off = random_csr(rng, 60, 5)
+        r = rng.normal(size=(5, 8))
+
+        def loss():
+            return float((t3.forward(idx, off) * r).sum())
+
+        t3.forward(idx, off)
+        t3.backward(r)
+        for p in t3.cores:
+            numeric_grad_check(p.data, p.grad, loss, samples=10)
+
+    def test_backward_matches_ttrec_backward(self, shape):
+        """The two implementations compute identical core gradients."""
+        rng = np.random.default_rng(14)
+        t3 = T3nsorEmbeddingBag(60, 8, shape=shape, rng=0)
+        tt = TTEmbeddingBag(60, 8, shape=shape, rng=1)
+        tt.load_cores([p.data.copy() for p in t3.cores])
+        idx, off = random_csr(rng, 60, 6, allow_empty=False)
+        r = rng.normal(size=(6, 8))
+        t3.forward(idx, off)
+        t3.backward(r)
+        tt.forward(idx, off)
+        tt.backward(r)
+        for a, b in zip(t3.cores, tt.cores):
+            np.testing.assert_allclose(a.grad, b.grad, atol=1e-10)
+
+    def test_mean_mode(self, shape):
+        t3 = T3nsorEmbeddingBag(60, 8, shape=shape, mode="mean", rng=0)
+        idx = np.array([3, 4])
+        out = t3.forward(idx, np.array([0, 2]))
+        full = t3.materialize()
+        np.testing.assert_allclose(out[0], full[[3, 4]].mean(axis=0), atol=1e-12)
+
+    def test_backward_before_forward(self, shape):
+        with pytest.raises(RuntimeError):
+            T3nsorEmbeddingBag(60, 8, shape=shape, rng=0).backward(np.ones((1, 8)))
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            T3nsorEmbeddingBag(60, 8, mode="max")

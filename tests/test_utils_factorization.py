@@ -1,0 +1,90 @@
+"""Tests for integer factorization used in TT shape selection."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.factorization import factorize_into, prime_factors, suggested_tt_shapes
+
+
+class TestPrimeFactors:
+    def test_small_numbers(self):
+        assert prime_factors(1) == []
+        assert prime_factors(2) == [2]
+        assert prime_factors(12) == [2, 2, 3]
+        assert prime_factors(97) == [97]
+        assert prime_factors(1024) == [2] * 10
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            prime_factors(0)
+        with pytest.raises(ValueError):
+            prime_factors(-5)
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    def test_product_reconstructs(self, n):
+        factors = prime_factors(n)
+        assert math.prod(factors) == n
+        assert factors == sorted(factors)
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    def test_all_prime(self, n):
+        for p in prime_factors(n):
+            assert p >= 2
+            assert all(p % q for q in range(2, int(p ** 0.5) + 1))
+
+
+class TestFactorizeInto:
+    def test_exact_product(self):
+        assert math.prod(factorize_into(1_000_000, 3)) == 1_000_000
+
+    def test_prime_gets_ones(self):
+        assert factorize_into(7, 3) == [1, 1, 7]
+
+    def test_single_bucket(self):
+        assert factorize_into(42, 1) == [42]
+
+    def test_rejects_bad_d(self):
+        with pytest.raises(ValueError):
+            factorize_into(10, 0)
+
+    @given(st.integers(min_value=1, max_value=1_000_000),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=200)
+    def test_product_invariant(self, n, d):
+        factors = factorize_into(n, d)
+        assert len(factors) == d
+        assert math.prod(factors) == n
+        assert factors == sorted(factors)
+
+    def test_balanced_for_smooth_numbers(self):
+        factors = factorize_into(2 ** 12, 3)
+        assert max(factors) / min(factors) <= 2
+
+
+class TestSuggestedTTShapes:
+    def test_product_covers_n(self):
+        for n in (142572, 286181, 5461306, 10131227):
+            factors = suggested_tt_shapes(n, 3)
+            assert math.prod(factors) >= n
+
+    def test_reasonably_balanced(self):
+        factors = suggested_tt_shapes(10131227, 3)
+        assert max(factors) / min(factors) <= 2.0
+
+    def test_exact_mode(self):
+        factors = suggested_tt_shapes(5040, 3, allow_round_up=False)
+        assert math.prod(factors) == 5040
+
+    @given(st.integers(min_value=1, max_value=2_000_000),
+           st.integers(min_value=2, max_value=4))
+    @settings(max_examples=100)
+    def test_round_up_bounded(self, n, d):
+        factors = suggested_tt_shapes(n, d)
+        prod = math.prod(factors)
+        assert prod >= n
+        # Padding stays modest relative to a balanced-factor window.
+        assert prod <= n + max(64, int(np.ceil(n ** (1 / d))) * 4)
