@@ -37,6 +37,13 @@ from repro.models import (
     save_model,
 )
 from repro.ops import SGD, Adagrad, EmbeddingBag, SparseSGD
+from repro.reliability import (
+    CheckpointManager,
+    DivergenceGuard,
+    FaultInjector,
+    FaultSpec,
+    GuardPolicy,
+)
 from repro.training import EvalResult, LRScheduler, Trainer, TrainResult
 from repro.tt import (
     T3nsorEmbeddingBag,
@@ -79,6 +86,12 @@ __all__ = [
     # checkpointing
     "save_model",
     "load_model",
+    # reliability (fault injection, checkpoint/resume, divergence guard)
+    "FaultInjector",
+    "FaultSpec",
+    "CheckpointManager",
+    "DivergenceGuard",
+    "GuardPolicy",
     # compression baselines (related work)
     "HashedEmbeddingBag",
     "LowRankEmbeddingBag",

@@ -58,6 +58,11 @@ class CachedTTEmbeddingBag(Module):
         problem) or ``"absorb"`` (write the learned values back into the
         TT cores with a few damped least-squares steps;
         :func:`repro.tt.writeback.absorb_rows`).
+    injector:
+        Optional :class:`~repro.reliability.fault_injection.FaultInjector`
+        probed at the ``cache.row`` site each forward: a firing fault
+        corrupts one resident cache row (chaos testing; :meth:`scrub`
+        repairs such rows from the TT cores).
     """
 
     def __init__(self, num_rows: int, dim: int, *, shape: TTShape | None = None,
@@ -67,7 +72,7 @@ class CachedTTEmbeddingBag(Module):
                  cache_size: int | None = None, cache_fraction: float | None = None,
                  warmup_steps: int = 100, refresh_interval: int | None = 1000,
                  policy: str = "lfu", eviction: str = "discard",
-                 name: str = "cached_tt_emb"):
+                 injector=None, name: str = "cached_tt_emb"):
         rng = as_rng(rng)
         self.tt = TTEmbeddingBag(
             num_rows, dim, shape=shape, rank=rank, d=d, mode=mode,
@@ -105,6 +110,12 @@ class CachedTTEmbeddingBag(Module):
         self._steps = 0
         self._populated = False
         self._cache: dict | None = None
+        self.injector = injector
+        # Read validation (ECC / row-checksum stand-in): verify served
+        # cache rows are finite and refill poisoned ones from the TT
+        # cores. On by default whenever faults can occur (injector set).
+        self.validate_reads = injector is not None
+        self.repaired_rows = 0
         # Cumulative hit statistics (Fig. 10 / Fig. 12 instrumentation).
         self.lookups = 0
         self.hits = 0
@@ -199,9 +210,22 @@ class CachedTTEmbeddingBag(Module):
         self.tracker.record(indices)
         self.maybe_refresh()
 
+        if self.injector is not None and self._cached_ids.size:
+            spec = self.injector.draw("cache.row")
+            if spec is not None:
+                slot = self.injector.choose(int(self._cached_ids.size))
+                self.injector.apply(spec, self.cache_rows.data[slot])
+
         mask, slots = self._membership(indices)
         self.lookups += indices.size
         self.hits += int(mask.sum())
+
+        # A poisoned row served into the towers is masked by ReLU (NaN
+        # clips to 0) and silently degrades the model instead of crashing
+        # it, so corruption must be caught at the read, not at the loss.
+        if ((self.validate_reads or self.injector is not None) and mask.any()
+                and not np.isfinite(self.cache_rows.data[slots]).all()):
+            self.repaired_rows += self.scrub()
 
         rows = np.empty((indices.size, self.dim))
         if mask.any():
@@ -265,6 +289,58 @@ class CachedTTEmbeddingBag(Module):
         if (~mask).any():
             rows[~mask] = self.tt.lookup(indices[~mask])
         return rows
+
+    def scrub(self) -> int:
+        """Re-materialise any non-finite resident cache rows from the TT
+        cores; returns the number of rows repaired.
+
+        The recovery hook for poisoned-cache faults: a corrupted
+        uncompressed row is replaced by the row the TT chain currently
+        encodes (losing only that row's dense updates, exactly as a cache
+        refresh would). Called by
+        :func:`repro.reliability.guard.scrub_non_finite`.
+        """
+        if self._cached_ids.size == 0:
+            return 0
+        resident = self.cache_rows.data[self._cache_slot]
+        bad = ~np.isfinite(resident).all(axis=1)
+        if not bad.any():
+            return 0
+        self.cache_rows.data[self._cache_slot[bad]] = self.tt.lookup(
+            self._cached_ids[bad]
+        )
+        return int(bad.sum())
+
+    # ------------------------------------------------------------------ #
+    # Checkpointable non-parameter state (see repro.reliability.checkpoint)
+    # ------------------------------------------------------------------ #
+
+    def extra_state(self) -> dict:
+        """Cache bookkeeping a checkpoint must carry beyond parameters."""
+        state = {
+            "cached_ids": self._cached_ids.copy(),
+            "cache_slot": self._cache_slot.copy(),
+            "steps": int(self._steps),
+            "populated": bool(self._populated),
+            "lookups": int(self.lookups),
+            "hits": int(self.hits),
+        }
+        for key, value in self.tracker.state_dict().items():
+            state[f"tracker.{key}"] = value
+        return state
+
+    def load_extra_state(self, state: dict) -> None:
+        self._cached_ids = np.asarray(state["cached_ids"], dtype=np.int64)
+        self._cache_slot = np.asarray(state["cache_slot"], dtype=np.int64)
+        self._steps = int(state["steps"])
+        self._populated = bool(state["populated"])
+        self.lookups = int(state["lookups"])
+        self.hits = int(state["hits"])
+        self.tracker.load_state_dict({
+            key.split(".", 1)[1]: value
+            for key, value in state.items() if key.startswith("tracker.")
+        })
+        self._cache = None
 
     def num_parameters(self) -> int:
         """TT params + cache rows (the cache counts toward the budget)."""

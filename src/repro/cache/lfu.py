@@ -83,5 +83,37 @@ class LFUTracker:
             if keys.size:
                 self._table.add(keys, values * self.decay)
 
+    def state_dict(self) -> dict:
+        """Checkpointable snapshot of the tracker (see ``repro.reliability``).
+
+        The table is saved as its ``(keys, values)`` pairs plus capacity;
+        :meth:`load_state_dict` rebuilds an equivalent table. Selection via
+        :meth:`top_k` is layout-independent (ties break by key), so a
+        restored tracker makes bit-identical cache decisions. Pairs are
+        emitted sorted by key — a canonical form, so snapshots of
+        logically-equal trackers compare equal regardless of the probe
+        order that built their tables.
+        """
+        keys, values = self._table.items()
+        order = np.argsort(keys, kind="stable")
+        keys, values = keys[order], values[order]
+        return {
+            "keys": keys,
+            "values": values,
+            "capacity": int(self._table.capacity),
+            "clock": int(self._clock),
+            "frozen": bool(self._frozen),
+            "total_accesses": int(self.total_accesses),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._table = OpenAddressingHashTable(int(state["capacity"]))
+        keys = np.asarray(state["keys"], dtype=np.int64)
+        if keys.size:
+            self._table.add(keys, np.asarray(state["values"], dtype=np.float64))
+        self._clock = int(state["clock"])
+        self._frozen = bool(state["frozen"])
+        self.total_accesses = int(state["total_accesses"])
+
     def __len__(self) -> int:
         return len(self._table)

@@ -6,10 +6,13 @@ Subcommands (also available via ``python -m repro <cmd>``):
 - ``sizes``    — Fig. 5 / §6 whole-model compression for both datasets;
 - ``plan``     — auto-tune TT ranks for a memory budget (MB);
 - ``locality`` — Fig. 9-style hot-set stability for a synthetic stream;
-- ``train``    — small demo training run (baseline vs TT-Rec).
+- ``train``    — small demo training run (baseline vs TT-Rec), with
+  optional periodic checkpointing and ``--resume``;
+- ``chaos``    — fault-injection drill: a guarded TT-Rec run under
+  seeded gradient/cache faults, compared against the fault-free run.
 
-Analyses that need no training are exact and instantaneous; ``train`` uses
-the scaled synthetic dataset and takes a few seconds.
+Analyses that need no training are exact and instantaneous; ``train`` and
+``chaos`` use the scaled synthetic dataset and take a few seconds.
 """
 
 from __future__ import annotations
@@ -128,6 +131,8 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_train(args) -> int:
+    import os
+
     from repro.data import KAGGLE, SyntheticCTRDataset
     from repro.models import DLRMConfig, TTConfig, build_dlrm, build_ttrec
     from repro.training import Trainer
@@ -143,11 +148,74 @@ def _cmd_train(args) -> int:
     ):
         ds = SyntheticCTRDataset(spec, seed=args.seed, noise=0.7)
         trainer = Trainer(model, lr=0.1)
-        res = trainer.train(ds.batches(96, args.iters))
+        ckpt_kwargs = {}
+        if args.checkpoint_dir:
+            from repro.reliability import CheckpointManager
+
+            slug = name.split()[0].replace("-", "_")
+            manager = CheckpointManager(
+                os.path.join(args.checkpoint_dir, slug))
+            resume = manager if (args.resume
+                                 and manager.latest_step() is not None) else None
+            ckpt_kwargs = dict(checkpoint_dir=manager.directory,
+                               checkpoint_every=args.checkpoint_every,
+                               resume_from=resume)
+        res = trainer.train(ds.batches(96, args.iters), **ckpt_kwargs)
         ev = trainer.evaluate(ds.batches(512, 6))
+        resumed = (f" (resumed at {res.start_iteration})"
+                   if res.start_iteration else "")
         print(f"{name:14s} emb_params={model.embedding_parameters():>9,} "
-              f"{res.ms_per_iter:6.2f} ms/iter  {ev}")
+              f"{res.ms_per_iter:6.2f} ms/iter  {ev}{resumed}")
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    """Fault-injection drill: guarded faulty run vs the fault-free run."""
+    from repro.data import KAGGLE, SyntheticCTRDataset
+    from repro.models import DLRMConfig, TTConfig, build_ttrec
+    from repro.ops.optim import Adagrad
+    from repro.reliability import DivergenceGuard, FaultInjector, GuardPolicy
+    from repro.training import Trainer
+
+    spec = KAGGLE.scaled(args.scale)
+    cfg = DLRMConfig(table_sizes=spec.table_sizes, emb_dim=8,
+                     bottom_mlp=(16,), top_mlp=(16,))
+    tt = TTConfig(rank=args.rank, use_cache=True, warmup_steps=5,
+                  refresh_interval=40, cache_fraction=0.05)
+
+    def run(injector):
+        model = build_ttrec(cfg, num_tt_tables=7, tt=tt, min_rows=50,
+                            rng=args.seed)
+        if injector is not None:
+            for emb in model.embeddings:
+                if hasattr(emb, "validate_reads"):
+                    emb.injector = injector
+                    emb.validate_reads = True
+        guard = DivergenceGuard(GuardPolicy())
+        trainer = Trainer(model, optimizer=Adagrad(model.parameters(), lr=0.05),
+                          guard=guard, injector=injector)
+        ds = SyntheticCTRDataset(spec, seed=args.seed, noise=0.6)
+        res = trainer.train(ds.batches(64, args.iters))
+        return res.smoothed_loss(50), guard
+
+    clean, _ = run(None)
+    inj = FaultInjector(seed=args.fault_seed)
+    if "grad" in args.sites:
+        inj.register("trainer.grad", args.prob, kind="nan", max_elements=4)
+    if "cache" in args.sites:
+        inj.register("cache.row", args.prob, kind="nan", max_elements=2)
+    faulted, guard = run(inj)
+    rel = abs(faulted - clean) / clean
+
+    print(f"fault-free smoothed loss : {clean:.5f}")
+    print(f"faulted    smoothed loss : {faulted:.5f}  (rel diff {rel:.2%})")
+    print(f"injector: {inj.counters()}")
+    print(f"guard   : {guard.events}")
+    ok = rel <= args.tolerance
+    print(f"{'PASS' if ok else 'FAIL'}: faulted run "
+          f"{'within' if ok else 'exceeds'} {args.tolerance * 100:g}% "
+          "of fault-free")
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -188,7 +256,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rank", type=int, default=16)
     p.add_argument("--scale", type=float, default=0.0005)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="directory for periodic checkpoints (per model)")
+    p.add_argument("--checkpoint-every", type=int, default=50,
+                   help="iterations between checkpoints")
+    p.add_argument("--resume", action="store_true",
+                   help="resume each model from its latest checkpoint")
     p.set_defaults(fn=_cmd_train)
+
+    p = sub.add_parser("chaos",
+                       help="fault-injection drill: guarded run vs fault-free")
+    p.add_argument("--iters", type=int, default=300)
+    p.add_argument("--rank", type=int, default=8)
+    p.add_argument("--scale", type=float, default=0.0003)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--fault-seed", type=int, default=123)
+    p.add_argument("--sites", nargs="+", choices=["grad", "cache"],
+                   default=["grad", "cache"])
+    p.add_argument("--prob", type=float, default=0.02,
+                   help="per-site fault probability")
+    p.add_argument("--tolerance", type=float, default=0.01,
+                   help="allowed relative smoothed-loss gap vs fault-free")
+    p.set_defaults(fn=_cmd_chaos)
 
     return parser
 

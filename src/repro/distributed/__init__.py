@@ -18,8 +18,9 @@ and the byte counters are verified against the analytic model of
 :mod:`repro.analysis.parallelism`.
 """
 
-from repro.distributed.collectives import Communicator
+from repro.distributed.collectives import CollectiveError, Communicator
 from repro.distributed.data_parallel import DataParallelTrainer
 from repro.distributed.model_parallel import ShardedEmbeddingDLRM
 
-__all__ = ["Communicator", "DataParallelTrainer", "ShardedEmbeddingDLRM"]
+__all__ = ["Communicator", "CollectiveError", "DataParallelTrainer",
+           "ShardedEmbeddingDLRM"]

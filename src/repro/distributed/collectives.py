@@ -4,13 +4,40 @@ A ``Communicator`` plays the role of NCCL/Gloo for K simulated workers:
 the collectives are computed exactly (plain NumPy) while tallying the
 bytes a real ring implementation would move, so benchmarks can compare
 measured traffic against the analytic alpha-beta model.
+
+Fault tolerance
+---------------
+When a :class:`~repro.reliability.fault_injection.FaultInjector` is
+attached, every collective runs in *degraded mode*:
+
+- each worker's contribution is "transmitted" with a CRC32 checksum;
+  injected corruption (``collective.payload``) is detected at the
+  receiver and the transfer is retried up to ``max_retries`` times;
+- a worker whose transfers never verify, or that the injector drops
+  outright (``collective.drop``), is excluded from the collective:
+  ``allreduce_mean`` renormalises over the survivors, ``allreduce_sum``
+  rescales by ``K / survivors`` (an unbiased estimate of the full sum),
+  and ``allgather`` returns only the surviving contributions (ranks
+  recorded in ``last_dropped``);
+- injected stragglers (``collective.straggler``) are counted but never
+  slept on.
+
+Every degradation event lands in the ``events`` dict so benchmark
+reports can surface retry/drop rates alongside the byte counters. With no
+injector attached the fast exact path runs unchanged.
 """
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
-__all__ = ["Communicator"]
+__all__ = ["Communicator", "CollectiveError"]
+
+
+class CollectiveError(RuntimeError):
+    """A collective could not complete (every worker failed)."""
 
 
 class Communicator:
@@ -23,16 +50,40 @@ class Communicator:
       — total ``S (K-1)`` crosses the wire per worker's contribution;
     - all-to-all where worker i sends ``S_ij`` to worker j: exactly the
       off-diagonal volume crosses the wire.
+
+    Parameters
+    ----------
+    world_size:
+        Number of simulated workers.
+    injector:
+        Optional :class:`~repro.reliability.fault_injection.FaultInjector`;
+        attaching one enables degraded-mode execution (see module docs).
+    max_retries:
+        Re-transmissions attempted per worker per collective before the
+        worker is declared failed for that collective.
     """
 
-    def __init__(self, world_size: int):
+    def __init__(self, world_size: int, *, injector=None, max_retries: int = 2):
         if world_size < 1:
             raise ValueError(f"world_size must be >= 1, got {world_size}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.world_size = world_size
+        self.injector = injector
+        self.max_retries = max_retries
         self.bytes_allreduce = 0
         self.bytes_all_to_all = 0
         self.bytes_allgather = 0
         self.num_collectives = 0
+        self.last_dropped: list[int] = []
+        self.events = {
+            "corruptions_detected": 0,
+            "retries": 0,
+            "workers_dropped": 0,
+            "degraded_collectives": 0,
+            "collective_restarts": 0,
+            "stragglers": 0,
+        }
 
     @property
     def total_bytes(self) -> int:
@@ -43,6 +94,65 @@ class Communicator:
         self.bytes_all_to_all = 0
         self.bytes_allgather = 0
         self.num_collectives = 0
+        self.last_dropped = []
+        self.events = {key: 0 for key in self.events}
+
+    # ------------------------------------------------------------------ #
+    # Degraded-mode plumbing
+    # ------------------------------------------------------------------ #
+
+    def _transmit(self, buffer: np.ndarray) -> np.ndarray | None:
+        """Move one buffer through the (faulty) wire, checksum-verified.
+
+        The sender's CRC32 travels with the payload (assumed intact, as a
+        real transport frames it); a mismatch at the receiver triggers a
+        re-transmission. Returns the verified payload, or ``None`` when
+        ``max_retries`` re-transmissions all arrive corrupted.
+        """
+        if self.injector.fires("collective.straggler"):
+            self.events["stragglers"] += 1
+        expected = zlib.crc32(buffer.tobytes())
+        for attempt in range(self.max_retries + 1):
+            payload = buffer.copy()
+            self.injector.corrupt("collective.payload", payload)
+            if zlib.crc32(payload.tobytes()) == expected:
+                return payload
+            self.events["corruptions_detected"] += 1
+            if attempt < self.max_retries:
+                self.events["retries"] += 1
+        return None
+
+    def _collect(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
+        """Gather each worker's verified contribution, dropping failures.
+
+        A collective that loses *every* worker is restarted (faults are
+        transient) up to ``max_retries`` times before raising
+        :class:`CollectiveError`.
+        """
+        for restart in range(self.max_retries + 1):
+            contributions = []
+            dropped = []
+            for rank, buffer in enumerate(buffers):
+                if self.injector.fires("collective.drop"):
+                    dropped.append(rank)
+                    continue
+                payload = self._transmit(buffer)
+                if payload is None:
+                    dropped.append(rank)
+                    continue
+                contributions.append(payload)
+            if contributions:
+                self.last_dropped = dropped
+                if dropped:
+                    self.events["workers_dropped"] += len(dropped)
+                    self.events["degraded_collectives"] += 1
+                return contributions
+            self.events["collective_restarts"] += 1
+        raise CollectiveError(
+            f"all {self.world_size} workers failed the collective in "
+            f"{self.max_retries + 1} attempts (dropped or unrecoverably "
+            "corrupted payloads)"
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -50,6 +160,10 @@ class Communicator:
         """Average one array across workers; every worker gets the result.
 
         ``buffers`` holds worker ``i``'s contribution at position ``i``.
+        Accumulation runs in float64 and the result is cast back to the
+        input dtype, so float32 workers keep float32 gradients. Under an
+        injector, failed workers are dropped and the mean renormalises
+        over the survivors.
         """
         self._check(buffers)
         k = self.world_size
@@ -57,11 +171,12 @@ class Communicator:
         if k > 1:
             self.bytes_allreduce += int(2 * size * (k - 1) / k) * k
         self.num_collectives += 1
-        out = buffers[0].astype(np.float64, copy=True)
-        for b in buffers[1:]:
+        contributions = buffers if self.injector is None else self._collect(buffers)
+        out = contributions[0].astype(np.float64, copy=True)
+        for b in contributions[1:]:
             out += b
-        out /= k
-        return out
+        out /= len(contributions)
+        return out.astype(buffers[0].dtype, copy=False)
 
     def allreduce_sum(self, buffers: list[np.ndarray]) -> np.ndarray:
         """Sum one array across workers; every worker gets the result.
@@ -69,7 +184,9 @@ class Communicator:
         Used where each worker holds a *partial* contribution to a global
         quantity (e.g. MLP gradients of a loss whose 1/B normalisation was
         already applied globally) — contrast with :meth:`allreduce_mean`
-        for shard-local means.
+        for shard-local means. Under an injector, the survivor sum is
+        rescaled by ``K / survivors`` so its magnitude stays an unbiased
+        estimate of the full sum.
         """
         self._check(buffers)
         k = self.world_size
@@ -77,19 +194,29 @@ class Communicator:
         if k > 1:
             self.bytes_allreduce += int(2 * size * (k - 1) / k) * k
         self.num_collectives += 1
-        out = buffers[0].astype(np.float64, copy=True)
-        for b in buffers[1:]:
+        contributions = buffers if self.injector is None else self._collect(buffers)
+        out = contributions[0].astype(np.float64, copy=True)
+        for b in contributions[1:]:
             out += b
-        return out
+        if len(contributions) != k:
+            out *= k / len(contributions)
+        return out.astype(buffers[0].dtype, copy=False)
 
     def allgather(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
-        """Every worker receives every worker's array (returned as a list)."""
+        """Every worker receives every worker's array (returned as a list).
+
+        Under an injector, failed workers' contributions are omitted from
+        the result (their ranks are recorded in ``last_dropped``), so the
+        returned list may be shorter than ``world_size``.
+        """
         self._check(buffers)
         k = self.world_size
         if k > 1:
             self.bytes_allgather += sum(int(b.nbytes) * (k - 1) for b in buffers)
         self.num_collectives += 1
-        return [b.copy() for b in buffers]
+        if self.injector is None:
+            return [b.copy() for b in buffers]
+        return self._collect(buffers)
 
     def all_to_all(self, chunks: list[list[np.ndarray]]) -> list[list[np.ndarray]]:
         """Transpose a K x K grid of arrays: worker ``i``'s ``chunks[i][j]``

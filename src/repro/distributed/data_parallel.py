@@ -71,14 +71,24 @@ class DataParallelTrainer:
         Learning rate of the per-replica SparseSGD.
     comm:
         Optional shared :class:`Communicator` (for byte accounting).
+    injector:
+        Optional :class:`~repro.reliability.fault_injection.FaultInjector`
+        handed to a freshly built communicator (ignored when ``comm`` is
+        given — attach the injector to that communicator instead). With an
+        injector, gradient allreduces run in degraded mode: corrupted
+        payloads are detected and retried, dropped workers are excluded
+        and the mean renormalises over survivors (see
+        :mod:`repro.distributed.collectives`).
     """
 
     def __init__(self, replicas: list[DLRM], *, lr: float = 0.1,
-                 comm: Communicator | None = None):
+                 comm: Communicator | None = None, injector=None):
         if not replicas:
             raise ValueError("need at least one replica")
         self.replicas = list(replicas)
-        self.comm = comm if comm is not None else Communicator(len(replicas))
+        self.comm = comm if comm is not None else Communicator(
+            len(replicas), injector=injector
+        )
         if self.comm.world_size != len(replicas):
             raise ValueError(
                 f"communicator world size {self.comm.world_size} != "
@@ -124,6 +134,11 @@ class DataParallelTrainer:
             for p in group:
                 p.grad[...] = mean_grad
                 p.touched_rows = union.copy() if union is not None else None
+
+    @property
+    def fault_events(self) -> dict[str, int]:
+        """The communicator's degraded-mode counters (report-ready copy)."""
+        return dict(self.comm.events)
 
     def parameters_in_sync(self, atol: float = 0.0) -> bool:
         """True when every replica holds identical parameter values."""

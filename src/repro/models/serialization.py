@@ -13,7 +13,25 @@ import numpy as np
 
 from repro.ops.module import Module
 
-__all__ = ["save_model", "load_model", "state_dict", "load_state_dict"]
+__all__ = ["save_model", "load_model", "state_dict", "load_state_dict",
+           "named_modules"]
+
+
+def _npz_path(path: str | os.PathLike, *, for_load: bool = False) -> str:
+    """Normalize a checkpoint path to carry the ``.npz`` suffix.
+
+    ``np.savez_compressed`` appends ``.npz`` when the suffix is missing,
+    so both directions must agree on the on-disk name or
+    ``save_model(m, "ckpt")`` + ``load_model(m, "ckpt")`` would look for
+    two different files. When loading, an exactly-matching existing file
+    wins (checkpoints written by other tools keep working).
+    """
+    p = os.fspath(path)
+    if p.endswith(".npz"):
+        return p
+    if for_load and os.path.exists(p):
+        return p
+    return p + ".npz"
 
 
 def _keys(model: Module) -> list[str]:
@@ -64,11 +82,40 @@ def load_state_dict(model: Module, state: dict[str, np.ndarray], *,
 
 def save_model(model: Module, path: str | os.PathLike) -> None:
     """Write all parameters to a compressed ``.npz`` checkpoint."""
-    np.savez_compressed(os.fspath(path), **state_dict(model))
+    np.savez_compressed(_npz_path(path), **state_dict(model))
 
 
 def load_model(model: Module, path: str | os.PathLike, *, strict: bool = True) -> None:
     """Load a checkpoint written by :func:`save_model` into ``model``."""
-    with np.load(os.fspath(path)) as archive:
+    with np.load(_npz_path(path, for_load=True)) as archive:
         state = {name: archive[name] for name in archive.files}
     load_state_dict(model, state, strict=strict)
+
+
+def named_modules(model: Module) -> list[tuple[str, Module]]:
+    """Depth-first ``(path, module)`` pairs; the root has path ``""``.
+
+    Paths mirror the attribute graph :meth:`Module.parameters` walks
+    (``"embeddings.3"``, ``"bottom_mlp"``), giving stateful modules a
+    stable address for checkpointing non-parameter state (see
+    :class:`repro.reliability.checkpoint.CheckpointManager`).
+    """
+    out: list[tuple[str, Module]] = []
+    seen: set[int] = set()
+
+    def walk(mod: Module, path: str) -> None:
+        if id(mod) in seen:
+            return
+        seen.add(id(mod))
+        out.append((path, mod))
+        for attr, value in vars(mod).items():
+            prefix = f"{path}.{attr}" if path else attr
+            if isinstance(value, Module):
+                walk(value, prefix)
+            elif isinstance(value, (list, tuple)):
+                for j, item in enumerate(value):
+                    if isinstance(item, Module):
+                        walk(item, f"{prefix}.{j}")
+
+    walk(model, "")
+    return out

@@ -6,6 +6,14 @@ default, optional momentum for completeness). ``SparseSGD`` exploits the
 O(rows touched) instead of O(table size) — the same optimization PyTorch's
 sparse embedding gradients provide. ``Adagrad`` is included because
 industrial DLRM training commonly uses it for embeddings.
+
+Every optimizer exposes ``state_dict()``/``load_state_dict()`` so
+checkpoints capture the full update rule: hyperparameters (including a
+learning rate adjusted by the divergence guard) plus per-parameter slots
+(momentum velocity, Adagrad accumulators), keyed ``<slot>.<param index>``
+with indices into the construction-time parameter order. Restoring into a
+freshly built optimizer over a structurally identical model reproduces
+the interrupted run bit-for-bit.
 """
 
 from __future__ import annotations
@@ -51,6 +59,25 @@ class SGD:
         for p in self.params:
             p.zero_grad()
 
+    def state_dict(self) -> dict:
+        state: dict = {"lr": self.lr, "momentum": self.momentum,
+                       "weight_decay": self.weight_decay}
+        for i, p in enumerate(self.params):
+            v = self._velocity.get(id(p))
+            if v is not None:
+                state[f"velocity.{i}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+        self.momentum = float(state["momentum"])
+        self.weight_decay = float(state["weight_decay"])
+        self._velocity = {}
+        for key, value in state.items():
+            if key.startswith("velocity."):
+                i = int(key.split(".", 1)[1])
+                self._velocity[id(self.params[i])] = np.array(value, dtype=np.float64)
+
 
 class SparseSGD:
     """SGD that only touches rows with recorded non-zero gradients.
@@ -77,6 +104,12 @@ class SparseSGD:
     def zero_grad(self) -> None:
         for p in self.params:
             p.zero_grad()
+
+    def state_dict(self) -> dict:
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
 
 
 class RowWiseAdagrad:
@@ -125,6 +158,20 @@ class RowWiseAdagrad:
         for p in self.params:
             p.zero_grad()
 
+    def state_dict(self) -> dict:
+        state: dict = {"lr": self.lr, "eps": self.eps}
+        for i, p in enumerate(self.params):
+            state[f"accum.{i}"] = self._accum[id(p)].copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+        self.eps = float(state["eps"])
+        for key, value in state.items():
+            if key.startswith("accum."):
+                i = int(key.split(".", 1)[1])
+                self._accum[id(self.params[i])] = np.array(value, dtype=np.float64)
+
 
 class Adagrad:
     """Adagrad with per-element accumulators; sparse-aware like SparseSGD."""
@@ -154,3 +201,17 @@ class Adagrad:
     def zero_grad(self) -> None:
         for p in self.params:
             p.zero_grad()
+
+    def state_dict(self) -> dict:
+        state: dict = {"lr": self.lr, "eps": self.eps}
+        for i, p in enumerate(self.params):
+            state[f"accum.{i}"] = self._accum[id(p)].copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+        self.eps = float(state["eps"])
+        for key, value in state.items():
+            if key.startswith("accum."):
+                i = int(key.split(".", 1)[1])
+                self._accum[id(self.params[i])] = np.array(value, dtype=np.float64)

@@ -5,10 +5,23 @@ provides the timed training loop every timing experiment (Fig. 7, Fig. 10)
 builds on. Timing uses ``time.perf_counter`` around the full
 forward/loss/backward/step iteration, mirroring the paper's ms/iter
 numbers.
+
+The loop is fault-tolerant when asked to be (see
+:mod:`repro.reliability`): a :class:`~repro.reliability.guard.DivergenceGuard`
+replaces the fail-fast :class:`FloatingPointError` with a bounded
+skip/backoff/rollback policy, a
+:class:`~repro.reliability.fault_injection.FaultInjector` can corrupt the
+loss gradient at the ``trainer.grad`` site for chaos testing, and
+``train(..., checkpoint_every=, checkpoint_dir=, resume_from=)`` makes a
+killed run resumable bit-for-bit: the resumed loop replays (consumes
+without training) the already-trained prefix of the batch stream so the
+data RNG advances identically, then continues from the restored model,
+optimizer and RNG state.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -30,10 +43,16 @@ class TrainResult:
     iterations: int = 0
     total_time_s: float = 0.0
     losses: list[float] = field(default_factory=list)
+    skipped: int = 0       # batches the divergence guard refused to apply
+    rollbacks: int = 0     # checkpoint restores triggered by loss spikes
+    start_iteration: int = 0  # > 0 when the run resumed from a checkpoint
 
     @property
     def ms_per_iter(self) -> float:
-        return 1000.0 * self.total_time_s / self.iterations if self.iterations else 0.0
+        """Mean wall-clock per iteration *executed by this call* (resumed
+        iterations restored from a checkpoint carry no time)."""
+        executed = self.iterations - self.start_iteration
+        return 1000.0 * self.total_time_s / executed if executed > 0 else 0.0
 
     @property
     def final_loss(self) -> float:
@@ -75,27 +94,55 @@ class Trainer:
     optimizer:
         Optional pre-built optimizer; defaults to
         :class:`~repro.ops.optim.SparseSGD` over the model's parameters.
+    guard:
+        Optional :class:`~repro.reliability.guard.DivergenceGuard`. With a
+        guard, non-finite losses/gradients follow its recovery policy
+        instead of raising :class:`FloatingPointError`.
+    injector:
+        Optional :class:`~repro.reliability.fault_injection.FaultInjector`
+        probed at the ``trainer.grad`` site each step (chaos testing).
+    rng:
+        Optional :class:`numpy.random.Generator` whose state is saved in
+        checkpoints and restored on resume (hand in the generator driving
+        the data stream when it lives outside the batch iterable).
     """
 
-    def __init__(self, model: DLRM, *, lr: float = 0.1, optimizer=None):
+    def __init__(self, model: DLRM, *, lr: float = 0.1, optimizer=None,
+                 guard=None, injector=None,
+                 rng: np.random.Generator | None = None):
         self.model = model
         self.optimizer = optimizer if optimizer is not None else SparseSGD(
             model.parameters(), lr=lr
         )
+        self.guard = guard
+        self.injector = injector
+        self.rng = rng
+        self.last_step_skipped = False
 
     def train_step(self, batch: Batch) -> float:
         """One forward/backward/update step; returns the batch loss.
 
-        Raises :class:`FloatingPointError` if the loss is NaN/inf —
-        catching divergence at the step it happens instead of corrupting
-        every parameter and failing silently later.
+        Without a guard, raises :class:`FloatingPointError` if the loss is
+        NaN/inf — catching divergence at the step it happens instead of
+        corrupting every parameter and failing silently later. With a
+        guard, a non-finite loss or loss-gradient makes this a no-op step
+        (``last_step_skipped`` is set) and the guard's recovery policy
+        runs instead.
         """
+        self.last_step_skipped = False
         self.optimizer.zero_grad()
         logits = self.model.forward(
             batch.dense, batch.sparse, batch.per_sample_weights
         )
         loss, grad = bce_with_logits(logits, batch.labels)
-        if not np.isfinite(loss):
+        if self.injector is not None:
+            self.injector.corrupt("trainer.grad", grad)
+        if self.guard is not None:
+            if not self.guard.admit(loss, grad, model=self.model,
+                                    optimizer=self.optimizer):
+                self.last_step_skipped = True
+                return float(loss)
+        elif not np.isfinite(loss):
             raise FloatingPointError(
                 f"training diverged: loss={loss!r}; lower the learning rate "
                 "or check the input data for non-finite values"
@@ -105,31 +152,95 @@ class Trainer:
         return loss
 
     def train(self, batches, *, max_iters: int | None = None,
-              log_every: int | None = None, log_fn=print) -> TrainResult:
-        """Train over an iterable of batches, timing the whole loop."""
+              log_every: int | None = None, log_fn=print,
+              checkpoint_every: int | None = None,
+              checkpoint_dir: str | os.PathLike | None = None,
+              keep_checkpoints: int = 3,
+              resume_from=None) -> TrainResult:
+        """Train over an iterable of batches, timing the whole loop.
+
+        Parameters
+        ----------
+        checkpoint_every, checkpoint_dir:
+            Write an atomic checkpoint (model + optimizer + RNG + loss
+            history) every ``checkpoint_every`` iterations into
+            ``checkpoint_dir``, keeping the newest ``keep_checkpoints``.
+        resume_from:
+            Checkpoint directory (or a prepared
+            :class:`~repro.reliability.checkpoint.CheckpointManager`) to
+            resume from. The newest valid checkpoint is restored and the
+            first ``step`` batches of the stream are consumed untrained,
+            so passing the same freshly-constructed batch iterable
+            reproduces the uninterrupted run bit-for-bit. ``max_iters``
+            keeps counting from the start of the stream.
+        """
+        from repro.reliability.checkpoint import CheckpointManager
+
+        manager = None
+        if checkpoint_dir is not None:
+            manager = CheckpointManager(checkpoint_dir, keep=keep_checkpoints)
+        elif checkpoint_every is not None:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+
         result = TrainResult()
+        if resume_from is not None:
+            if isinstance(resume_from, CheckpointManager):
+                resume_mgr = resume_from
+            else:
+                resume_mgr = CheckpointManager(resume_from, keep=keep_checkpoints)
+            ck = resume_mgr.restore(self.model, optimizer=self.optimizer,
+                                    rng=self.rng)
+            result.start_iteration = ck.step
+            result.iterations = ck.step
+            result.losses = ck.losses
+
         start = time.perf_counter()
         for i, batch in enumerate(batches):
             if max_iters is not None and i >= max_iters:
                 break
+            if i < result.start_iteration:
+                continue  # replay: consume the stream to advance its RNG
             loss = self.train_step(batch)
-            result.losses.append(loss)
-            result.iterations += 1
+            if self.last_step_skipped:
+                result.skipped += 1
+            else:
+                result.losses.append(loss)
+                result.iterations += 1
             if log_every and (i + 1) % log_every == 0:
                 log_fn(
                     f"iter {i + 1}: loss={np.mean(result.losses[-log_every:]):.4f}"
                 )
+            if (self.guard is not None and manager is not None
+                    and self.guard.wants_rollback(result.losses)):
+                ck = manager.restore(self.model, optimizer=self.optimizer,
+                                     rng=self.rng)
+                result.losses = ck.losses
+                result.rollbacks += 1
+                self.guard.notify_rollback()
+            if (checkpoint_every is not None
+                    and (i + 1) % checkpoint_every == 0):
+                manager.save(i + 1, self.model, optimizer=self.optimizer,
+                             rng=self.rng, losses=result.losses)
         result.total_time_s = time.perf_counter() - start
         return result
 
     def evaluate(self, batches, *, max_iters: int | None = None) -> EvalResult:
-        """Forward-only evaluation accumulating accuracy/BCE/AUC."""
+        """Forward-only evaluation accumulating accuracy/BCE/AUC.
+
+        Uses the same forward as training — in particular, weighted-pooling
+        models are evaluated with their ``per_sample_weights`` applied.
+        """
         all_logits: list[np.ndarray] = []
         all_labels: list[np.ndarray] = []
         for i, batch in enumerate(batches):
             if max_iters is not None and i >= max_iters:
                 break
-            logits = self.model.forward(batch.dense, batch.sparse)
+            logits = self.model.forward(batch.dense, batch.sparse,
+                                        batch.per_sample_weights)
             all_logits.append(np.asarray(logits))
             all_labels.append(np.asarray(batch.labels))
         if not all_logits:

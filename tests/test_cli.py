@@ -58,3 +58,23 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "baseline" in out and "tt-rec" in out
         assert "ms/iter" in out
+
+    def test_train_checkpoint_resume(self, tmp_path, capsys):
+        args = ["train", "--iters", "20", "--scale", "0.0002",
+                "--checkpoint-dir", str(tmp_path), "--checkpoint-every", "10"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert (tmp_path / "baseline").is_dir()
+        assert main(args + ["--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert "(resumed at 20)" in resumed
+        # Bit-exact resume: identical eval metrics, modulo timing fields.
+        strip = lambda s: [part for line in s.splitlines()
+                           for part in line.split() if "=" in part]
+        assert strip(first) == strip(resumed)
+
+    def test_chaos_smoke(self, capsys):
+        assert main(["chaos", "--iters", "40", "--scale", "0.0002",
+                     "--tolerance", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "fault-free" in out and "injector" in out and "PASS" in out

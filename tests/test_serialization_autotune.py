@@ -91,6 +91,31 @@ class TestNpzRoundtrip:
             model.forward(dense, sparse), fresh.forward(dense, sparse)
         )
 
+    def test_suffix_symmetry(self, tmp_path):
+        """save_model('ckpt') and load_model('ckpt') hit the same file.
+
+        np.savez appends ``.npz`` when the name lacks it; loading with the
+        bare name used to fail with FileNotFoundError.
+        """
+        model = build_dlrm(CFG, rng=0)
+        bare = tmp_path / "ckpt"  # no .npz suffix
+        save_model(model, bare)
+        assert (tmp_path / "ckpt.npz").exists()
+        fresh = build_dlrm(CFG, rng=3)
+        load_model(fresh, bare)  # must resolve to ckpt.npz
+        for a, b in zip(model.parameters(), fresh.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_exact_name_wins_on_load(self, tmp_path):
+        """A file saved *with* an explicit odd name still loads verbatim."""
+        model = build_dlrm(CFG, rng=0)
+        path = tmp_path / "weights.npz"
+        save_model(model, path)
+        fresh = build_dlrm(CFG, rng=1)
+        load_model(fresh, path)
+        np.testing.assert_array_equal(model.parameters()[0].data,
+                                      fresh.parameters()[0].data)
+
 
 class TestPlanCompression:
     def test_fits_budget(self):

@@ -117,6 +117,29 @@ class TestTrainer:
         with pytest.raises(ValueError):
             trainer.evaluate([])
 
+    def test_evaluate_applies_per_sample_weights(self, setup):
+        """evaluate must forward with the batch's pooling weights (it used
+        to drop them, silently evaluating a different model)."""
+        _, ds, cfg = setup
+        model = build_dlrm(cfg, rng=0)
+        trainer = Trainer(model, lr=0.1)
+        batch = next(iter(ds.batches(64, 1)))
+        rng = np.random.default_rng(5)
+        weighted = batch.__class__(
+            dense=batch.dense,
+            sparse=batch.sparse,
+            labels=batch.labels,
+            per_sample_weights=[rng.uniform(0.5, 2.0, size=idx.shape)
+                                for idx, _ in batch.sparse],
+        )
+        ev = trainer.evaluate([weighted])
+        logits = model.forward(weighted.dense, weighted.sparse,
+                               weighted.per_sample_weights)
+        unweighted = model.forward(weighted.dense, weighted.sparse)
+        assert not np.allclose(logits, unweighted)
+        from repro.training.metrics import bce_loss
+        assert ev.bce == pytest.approx(bce_loss(logits, weighted.labels))
+
     def test_log_callback(self, setup):
         _, ds, cfg = setup
         trainer = Trainer(build_dlrm(cfg, rng=0), lr=0.1)
