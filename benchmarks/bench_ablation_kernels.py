@@ -12,7 +12,12 @@ import numpy as np
 import pytest
 from conftest import banner
 
-from repro.bench import format_table, pooling_workload, uniform_workload
+from repro.bench import (
+    format_table,
+    pooling_workload,
+    uniform_workload,
+    write_bench_json,
+)
 from repro.tt import TTEmbeddingBag
 from repro.tt.kernels import tt_lookup_reference
 
@@ -64,6 +69,13 @@ def test_batching_speedup_report(benchmark):
     ))
     print("\npaper: TT-EmbeddingBag is ~3x faster than the SOTA TT "
           "implementation; batching is the dominant reason")
+    path = write_bench_json("kernels", {
+        "rows": ROWS, "dim": DIM, "rank": RANK, "batch": BATCH,
+        "naive_ms_per_batch": naive * 1e3,
+        "batched_ms_per_batch": batched * 1e3,
+        "speedup": naive / batched,
+    })
+    print(f"wrote {path}")
     assert batched < naive / 3
 
 

@@ -12,6 +12,11 @@ Criteo spec and few iterations so the suite completes in minutes on a
 CPU. Set ``REPRO_BENCH_SCALE`` (default 1.0) above 1 to train
 longer/larger for higher-fidelity numbers, e.g.
 ``REPRO_BENCH_SCALE=4 pytest benchmarks/bench_fig6_accuracy.py -s``.
+
+Telemetry: span tracing is enabled for the whole benchmark session (set
+``REPRO_BENCH_TRACE=0`` to opt out), so experiments that persist a
+``BENCH_<name>.json`` via :func:`repro.bench.write_bench_json` capture the
+per-stage span tree alongside their headline numbers.
 """
 
 from __future__ import annotations
@@ -21,6 +26,10 @@ import os
 import pytest
 
 from repro.data import KAGGLE, TERABYTE
+from repro.telemetry import enable_tracing
+
+if os.environ.get("REPRO_BENCH_TRACE", "1") != "0":
+    enable_tracing()
 
 
 def bench_scale() -> float:

@@ -1,10 +1,20 @@
-"""Shared training helpers for the training-based benchmark experiments."""
+"""Shared training helpers for the training-based benchmark experiments.
+
+All timing here is routed through the telemetry tracer: model
+construction, the training loop and evaluation each run inside a span
+(``bench.build`` / ``bench.train`` / ``bench.eval``), and the trainer
+itself records per-stage spans. Benchmarks that call
+:func:`repro.bench.write_bench_json` therefore get the full span tree in
+their ``BENCH_<name>.json`` for free (tracing is enabled session-wide by
+``conftest.py``).
+"""
 
 from __future__ import annotations
 
 from repro.data import SyntheticCTRDataset
 from repro.data.specs import DatasetSpec
 from repro.models import DLRMConfig, TTConfig, build_dlrm, build_ttrec
+from repro.telemetry import trace
 from repro.training import Trainer
 
 # All training benches compress tables above this row count in the scaled
@@ -32,22 +42,26 @@ def train_and_eval(spec: DatasetSpec, *, num_tt: int = 0, tt: TTConfig | None = 
     """
     ds = SyntheticCTRDataset(spec, seed=seed, noise=noise)
     cfg = small_config(spec, emb_dim)
-    if num_tt == 0:
-        if init_override is not None:
-            from repro.models.dlrm import DLRM
-            from repro.ops import EmbeddingBag
+    with trace("bench.build", num_tt=num_tt):
+        if num_tt == 0:
+            if init_override is not None:
+                from repro.models.dlrm import DLRM
+                from repro.ops import EmbeddingBag
 
-            embeddings = [
-                EmbeddingBag(s, cfg.emb_dim, initializer=init_override(s), rng=seed + i)
-                for i, s in enumerate(cfg.table_sizes)
-            ]
-            model = DLRM(cfg, embeddings, rng=seed)
+                embeddings = [
+                    EmbeddingBag(s, cfg.emb_dim, initializer=init_override(s),
+                                 rng=seed + i)
+                    for i, s in enumerate(cfg.table_sizes)
+                ]
+                model = DLRM(cfg, embeddings, rng=seed)
+            else:
+                model = build_dlrm(cfg, rng=seed)
         else:
-            model = build_dlrm(cfg, rng=seed)
-    else:
-        model = build_ttrec(cfg, num_tt_tables=num_tt, tt=tt or TTConfig(),
-                            min_rows=MIN_ROWS, rng=seed)
+            model = build_ttrec(cfg, num_tt_tables=num_tt, tt=tt or TTConfig(),
+                                min_rows=MIN_ROWS, rng=seed)
     trainer = Trainer(model, lr=lr)
-    res = trainer.train(ds.batches(batch_size, iters))
-    ev = trainer.evaluate(ds.batches(512, 6))
+    with trace("bench.train", num_tt=num_tt):
+        res = trainer.train(ds.batches(batch_size, iters))
+    with trace("bench.eval", num_tt=num_tt):
+        ev = trainer.evaluate(ds.batches(512, 6))
     return res, ev, model

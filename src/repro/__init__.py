@@ -44,6 +44,14 @@ from repro.reliability import (
     FaultSpec,
     GuardPolicy,
 )
+from repro.telemetry import (
+    MetricsRegistry,
+    disable_tracing,
+    enable_tracing,
+    get_registry,
+    get_tracer,
+    trace,
+)
 from repro.training import EvalResult, LRScheduler, Trainer, TrainResult
 from repro.tt import (
     T3nsorEmbeddingBag,
@@ -86,6 +94,13 @@ __all__ = [
     # checkpointing
     "save_model",
     "load_model",
+    # telemetry (metrics registry, tracing spans, JSONL events)
+    "MetricsRegistry",
+    "get_registry",
+    "trace",
+    "get_tracer",
+    "enable_tracing",
+    "disable_tracing",
     # reliability (fault injection, checkpoint/resume, divergence guard)
     "FaultInjector",
     "FaultSpec",

@@ -1,6 +1,11 @@
 """Benchmark harness: workload generators and result reporting."""
 
-from repro.bench.reporting import format_series, format_table
+from repro.bench.reporting import (
+    BENCH_SCHEMA,
+    format_series,
+    format_table,
+    write_bench_json,
+)
 from repro.bench.workloads import (
     controlled_hitrate_workload,
     pooling_workload,
@@ -13,4 +18,6 @@ __all__ = [
     "controlled_hitrate_workload",
     "format_table",
     "format_series",
+    "write_bench_json",
+    "BENCH_SCHEMA",
 ]

@@ -1,15 +1,54 @@
-"""Plain-text table/series formatting for benchmark output.
+"""Benchmark reporting: text tables/series and machine-readable JSON.
 
 The benchmark harness prints the same rows and series the paper's tables
 and figures report; these helpers keep that output aligned and uniform
-without pulling in a plotting dependency.
+without pulling in a plotting dependency. :func:`write_bench_json`
+additionally persists a ``BENCH_<name>.json`` document (schema
+``repro.bench/v1``) bundling the measured data with the telemetry span
+tree, so the perf trajectory can be tracked across commits instead of
+scraped from stdout.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
 from collections.abc import Sequence
 
-__all__ = ["format_table", "format_series"]
+__all__ = ["format_table", "format_series", "write_bench_json",
+           "BENCH_SCHEMA"]
+
+BENCH_SCHEMA = "repro.bench/v1"
+
+
+def write_bench_json(name: str, data: dict, *,
+                     out_dir: str | os.PathLike | None = None) -> str:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``data`` is the benchmark-specific measurement payload; the document
+    wraps it with the schema tag, a wall-clock timestamp and the current
+    telemetry span tree (empty unless tracing was enabled, as the
+    benchmark conftest does by default). ``out_dir`` defaults to
+    ``$REPRO_BENCH_OUT`` or the working directory.
+    """
+    from repro.telemetry import get_registry, get_tracer
+
+    if out_dir is None:
+        out_dir = os.environ.get("REPRO_BENCH_OUT", ".")
+    path = os.path.join(os.fspath(out_dir), f"BENCH_{name}.json")
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "bench": name,
+        "unix_time": time.time(),
+        "data": data,
+        "spans": get_tracer().tree_dict(),
+        "metrics": get_registry().snapshot(),
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    return path
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence], *,

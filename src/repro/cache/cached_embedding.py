@@ -24,12 +24,18 @@ import numpy as np
 from repro.cache.lfu import LFUTracker
 from repro.ops.embedding import segment_sum
 from repro.ops.module import Module, Parameter
+from repro.telemetry import emit_event, get_registry, trace
 from repro.tt.embedding_bag import TTEmbeddingBag
 from repro.tt.shapes import TTShape
 from repro.utils.seeding import as_rng
 from repro.utils.validation import check_csr
 
 __all__ = ["CachedTTEmbeddingBag"]
+
+# Distinguishes same-named instances in the shared metrics registry
+# (``build_ttrec`` names embeddings per table, but tests construct many
+# modules with the default name in one process).
+_INSTANCE_SEQ = 0
 
 
 class CachedTTEmbeddingBag(Module):
@@ -115,10 +121,19 @@ class CachedTTEmbeddingBag(Module):
         # cache rows are finite and refill poisoned ones from the TT
         # cores. On by default whenever faults can occur (injector set).
         self.validate_reads = injector is not None
-        self.repaired_rows = 0
-        # Cumulative hit statistics (Fig. 10 / Fig. 12 instrumentation).
-        self.lookups = 0
-        self.hits = 0
+        # Cumulative hit/miss/evict/repair statistics (Fig. 10 / Fig. 12
+        # instrumentation), held in the shared metrics registry under a
+        # per-instance ``module`` label; ``lookups``/``hits``/
+        # ``repaired_rows`` stay readable as attribute shims.
+        global _INSTANCE_SEQ
+        self.metrics_label = f"{name}#{_INSTANCE_SEQ}"
+        _INSTANCE_SEQ += 1
+        reg = get_registry()
+        self._metrics = {
+            key: reg.counter(f"cache.{key}", module=self.metrics_label)
+            for key in ("lookups", "hits", "misses", "repairs",
+                        "insertions", "evictions", "refreshes")
+        }
 
     # ------------------------------------------------------------------ #
     # Cache management
@@ -128,9 +143,61 @@ class CachedTTEmbeddingBag(Module):
     def is_warm(self) -> bool:
         return self._populated
 
+    # -- statistics (registry-backed; attribute shims kept for callers) -- #
+
+    @property
+    def lookups(self) -> int:
+        return self._metrics["lookups"].value
+
+    @lookups.setter
+    def lookups(self, value: int) -> None:
+        self._metrics["lookups"].set(value)
+
+    @property
+    def hits(self) -> int:
+        return self._metrics["hits"].value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._metrics["hits"].set(value)
+
+    @property
+    def repaired_rows(self) -> int:
+        return self._metrics["repairs"].value
+
+    @repaired_rows.setter
+    def repaired_rows(self, value: int) -> None:
+        self._metrics["repairs"].set(value)
+
     def hit_rate(self) -> float:
-        """Cumulative cache hit rate since construction."""
-        return self.hits / self.lookups if self.lookups else 0.0
+        """Cumulative cache hit rate since construction (shim over
+        :meth:`stats`, kept for the Fig. 10/12 benchmarks)."""
+        lookups = self._metrics["lookups"].value
+        return self._metrics["hits"].value / lookups if lookups else 0.0
+
+    def stats(self) -> dict:
+        """Structured cumulative statistics (one registry read per field)."""
+        m = self._metrics
+        lookups = m["lookups"].value
+        hits = m["hits"].value
+        return {
+            "lookups": lookups,
+            "hits": hits,
+            "misses": m["misses"].value,
+            "hit_rate": hits / lookups if lookups else 0.0,
+            "repairs": m["repairs"].value,
+            "insertions": m["insertions"].value,
+            "evictions": m["evictions"].value,
+            "refreshes": m["refreshes"].value,
+            "resident_rows": int(self._cached_ids.size),
+            "cache_size": int(self.cache_size),
+            "populated": bool(self._populated),
+        }
+
+    def reset_stats(self) -> None:
+        """Zero the cumulative counters (resident rows are untouched)."""
+        for counter in self._metrics.values():
+            counter.reset()
 
     def _membership(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(is_cached_mask, cache_slots)`` for each index."""
@@ -178,6 +245,12 @@ class CachedTTEmbeddingBag(Module):
         self._populated = True
         if self.tracker.policy == "static":
             self.tracker.freeze()
+        self._metrics["refreshes"].inc()
+        self._metrics["insertions"].inc(int(new.size))
+        self._metrics["evictions"].inc(evicted)
+        emit_event("cache.populate", module=self.metrics_label,
+                   inserted=int(new.size), kept=int(kept.size),
+                   evicted=evicted, step=int(self._steps))
         return {"inserted": int(new.size), "kept": int(kept.size), "evicted": evicted}
 
     def maybe_refresh(self) -> dict | None:
@@ -216,9 +289,12 @@ class CachedTTEmbeddingBag(Module):
                 slot = self.injector.choose(int(self._cached_ids.size))
                 self.injector.apply(spec, self.cache_rows.data[slot])
 
-        mask, slots = self._membership(indices)
-        self.lookups += indices.size
-        self.hits += int(mask.sum())
+        with trace("cache.membership"):
+            mask, slots = self._membership(indices)
+        hits = int(mask.sum())
+        self._metrics["lookups"].inc(indices.size)
+        self._metrics["hits"].inc(hits)
+        self._metrics["misses"].inc(indices.size - hits)
 
         # A poisoned row served into the towers is masked by ReLU (NaN
         # clips to 0) and silently degrades the model instead of crashing
@@ -309,6 +385,8 @@ class CachedTTEmbeddingBag(Module):
         self.cache_rows.data[self._cache_slot[bad]] = self.tt.lookup(
             self._cached_ids[bad]
         )
+        emit_event("cache.repair", module=self.metrics_label,
+                   rows=int(bad.sum()), step=int(self._steps))
         return int(bad.sum())
 
     # ------------------------------------------------------------------ #

@@ -9,10 +9,19 @@ Subcommands (also available via ``python -m repro <cmd>``):
 - ``train``    — small demo training run (baseline vs TT-Rec), with
   optional periodic checkpointing and ``--resume``;
 - ``chaos``    — fault-injection drill: a guarded TT-Rec run under
-  seeded gradient/cache faults, compared against the fault-free run.
+  seeded gradient/cache faults, compared against the fault-free run;
+- ``profile``  — telemetry drill-down: a short TT-Rec + cache training
+  workload plus a simulated allreduce leg, printed as a nested span tree,
+  a per-stage iteration breakdown and a shared-registry metrics table.
 
-Analyses that need no training are exact and instantaneous; ``train`` and
-``chaos`` use the scaled synthetic dataset and take a few seconds.
+``train``/``chaos``/``profile`` accept ``--emit-json PATH`` to write a
+machine-readable telemetry snapshot (schema ``repro.telemetry/v1``; see
+docs/OBSERVABILITY.md), and ``chaos``/``profile`` accept
+``--events-jsonl PATH`` to stream fault/guard/cache events as JSONL.
+
+Analyses that need no training are exact and instantaneous; ``train``,
+``chaos`` and ``profile`` use the scaled synthetic dataset and take a few
+seconds.
 """
 
 from __future__ import annotations
@@ -140,6 +149,7 @@ def _cmd_train(args) -> int:
     spec = KAGGLE.scaled(args.scale)
     cfg = DLRMConfig(table_sizes=spec.table_sizes, emb_dim=8,
                      bottom_mlp=(32, 16), top_mlp=(32,))
+    summaries = {}
     for name, model in (
         ("baseline", build_dlrm(cfg, rng=args.seed)),
         (f"tt-rec r{args.rank}",
@@ -166,6 +176,107 @@ def _cmd_train(args) -> int:
                    if res.start_iteration else "")
         print(f"{name:14s} emb_params={model.embedding_parameters():>9,} "
               f"{res.ms_per_iter:6.2f} ms/iter  {ev}{resumed}")
+        summaries[name] = {
+            "emb_params": int(model.embedding_parameters()),
+            "iterations": res.iterations,
+            "ms_per_iter": res.ms_per_iter,
+            "ms_per_iter_steady": res.ms_per_iter_steady,
+            "stage_ms_per_iter": res.timing_breakdown(),
+            "final_loss": res.final_loss,
+            "accuracy": ev.accuracy, "bce": ev.bce, "auc": ev.auc,
+            "ne": ev.ne,
+        }
+    if args.emit_json:
+        from repro.telemetry import write_snapshot
+
+        write_snapshot(args.emit_json, command="train",
+                       result={"models": summaries})
+        print(f"wrote telemetry snapshot to {args.emit_json}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Telemetry drill-down over one short instrumented workload."""
+    from repro import telemetry
+    from repro.bench.reporting import format_table
+    from repro.data import KAGGLE, SyntheticCTRDataset
+    from repro.distributed.collectives import Communicator
+    from repro.models import DLRMConfig, TTConfig, build_ttrec
+    from repro.training import Trainer
+
+    tracer = telemetry.get_tracer()
+    tracer.reset()
+    telemetry.enable_tracing()
+    if args.events_jsonl:
+        telemetry.install_sink(args.events_jsonl)
+    try:
+        spec = KAGGLE.scaled(args.scale)
+        cfg = DLRMConfig(table_sizes=spec.table_sizes, emb_dim=8,
+                         bottom_mlp=(32, 16), top_mlp=(32,))
+        tt = TTConfig(rank=args.rank, use_cache=True, warmup_steps=5,
+                      refresh_interval=40, cache_fraction=0.05)
+        model = build_ttrec(cfg, num_tt_tables=7, tt=tt, min_rows=60,
+                            rng=args.seed)
+        ds = SyntheticCTRDataset(spec, seed=args.seed, noise=0.7)
+        trainer = Trainer(model, lr=0.1)
+        with telemetry.trace("profile.train"):
+            res = trainer.train(ds.batches(args.batch_size, args.iters))
+        # Collective leg: allreduce every dense gradient across a simulated
+        # ring so the same registry carries byte counters, too.
+        comm = Communicator(args.world_size)
+        with telemetry.trace("profile.collectives"):
+            for p in model.parameters():
+                if p.grad is not None and p.grad.size:
+                    comm.allreduce_mean([p.grad] * args.world_size)
+    finally:
+        telemetry.disable_tracing()
+        if args.events_jsonl:
+            telemetry.uninstall_sink()
+
+    print(f"profile workload: {args.iters} iters, batch {args.batch_size}, "
+          f"TT rank {args.rank}, world size {args.world_size}")
+    print("\n== span tree " + "=" * 50)
+    print(tracer.format_tree())
+
+    print("\n== per-iteration breakdown " + "=" * 36)
+    breakdown = res.timing_breakdown()
+    print(format_table(
+        ["stage", "ms/iter", "share"],
+        [[stage, f"{ms:.3f}",
+          f"{ms / res.ms_per_iter:.1%}" if res.ms_per_iter else "-"]
+         for stage, ms in breakdown.items()],
+    ))
+    print(f"overall: {res.ms_per_iter:.2f} ms/iter "
+          f"(steady-state {res.ms_per_iter_steady:.2f})")
+
+    print("\n== shared metrics registry " + "=" * 36)
+    counters = telemetry.get_registry().snapshot()["counters"]
+    rows = [[key, value] for key, value in counters.items() if value]
+    print(format_table(["counter", "value"], rows))
+
+    cached = [emb for emb in model.embeddings if hasattr(emb, "stats")]
+    if cached:
+        print("\n== cache stats " + "=" * 48)
+        print(format_table(
+            ["module", "lookups", "hits", "misses", "hit rate", "repairs"],
+            [[emb.metrics_label, s["lookups"], s["hits"], s["misses"],
+              f"{s['hit_rate']:.1%}", s["repairs"]]
+             for emb in cached for s in [emb.stats()]],
+        ))
+
+    if args.emit_json:
+        telemetry.write_snapshot(
+            args.emit_json, command="profile",
+            result={
+                "iterations": res.iterations,
+                "ms_per_iter": res.ms_per_iter,
+                "ms_per_iter_steady": res.ms_per_iter_steady,
+                "stage_ms_per_iter": breakdown,
+                "cache": {emb.metrics_label: emb.stats() for emb in cached},
+                "collective_bytes": comm.total_bytes,
+            },
+        )
+        print(f"\nwrote telemetry snapshot to {args.emit_json}")
     return 0
 
 
@@ -198,13 +309,23 @@ def _cmd_chaos(args) -> int:
         res = trainer.train(ds.batches(64, args.iters))
         return res.smoothed_loss(50), guard
 
-    clean, _ = run(None)
-    inj = FaultInjector(seed=args.fault_seed)
-    if "grad" in args.sites:
-        inj.register("trainer.grad", args.prob, kind="nan", max_elements=4)
-    if "cache" in args.sites:
-        inj.register("cache.row", args.prob, kind="nan", max_elements=2)
-    faulted, guard = run(inj)
+    if args.events_jsonl:
+        from repro.telemetry import install_sink
+
+        install_sink(args.events_jsonl)
+    try:
+        clean, _ = run(None)
+        inj = FaultInjector(seed=args.fault_seed)
+        if "grad" in args.sites:
+            inj.register("trainer.grad", args.prob, kind="nan", max_elements=4)
+        if "cache" in args.sites:
+            inj.register("cache.row", args.prob, kind="nan", max_elements=2)
+        faulted, guard = run(inj)
+    finally:
+        if args.events_jsonl:
+            from repro.telemetry import uninstall_sink
+
+            uninstall_sink()
     rel = abs(faulted - clean) / clean
 
     print(f"fault-free smoothed loss : {clean:.5f}")
@@ -215,6 +336,19 @@ def _cmd_chaos(args) -> int:
     print(f"{'PASS' if ok else 'FAIL'}: faulted run "
           f"{'within' if ok else 'exceeds'} {args.tolerance * 100:g}% "
           "of fault-free")
+    if args.emit_json:
+        from repro.telemetry import write_snapshot
+
+        write_snapshot(args.emit_json, command="chaos", result={
+            "clean_smoothed_loss": clean,
+            "faulted_smoothed_loss": faulted,
+            "rel_diff": rel,
+            "tolerance": args.tolerance,
+            "passed": ok,
+            "injector": inj.counters(),
+            "guard_events": guard.events,
+        })
+        print(f"wrote telemetry snapshot to {args.emit_json}")
     return 0 if ok else 1
 
 
@@ -262,7 +396,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="iterations between checkpoints")
     p.add_argument("--resume", action="store_true",
                    help="resume each model from its latest checkpoint")
+    p.add_argument("--emit-json", default=None, metavar="PATH",
+                   help="write a repro.telemetry/v1 snapshot JSON")
     p.set_defaults(fn=_cmd_train)
+
+    p = sub.add_parser("profile",
+                       help="span tree + metrics registry for a short "
+                            "instrumented workload")
+    p.add_argument("--iters", type=int, default=60)
+    p.add_argument("--rank", type=int, default=16)
+    p.add_argument("--scale", type=float, default=0.0005)
+    p.add_argument("--batch-size", type=int, default=96)
+    p.add_argument("--world-size", type=int, default=4,
+                   help="simulated workers for the collective leg")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--emit-json", default=None, metavar="PATH",
+                   help="write a repro.telemetry/v1 snapshot JSON")
+    p.add_argument("--events-jsonl", default=None, metavar="PATH",
+                   help="stream telemetry events to a JSONL file")
+    p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser("chaos",
                        help="fault-injection drill: guarded run vs fault-free")
@@ -277,6 +429,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-site fault probability")
     p.add_argument("--tolerance", type=float, default=0.01,
                    help="allowed relative smoothed-loss gap vs fault-free")
+    p.add_argument("--emit-json", default=None, metavar="PATH",
+                   help="write a repro.telemetry/v1 snapshot JSON")
+    p.add_argument("--events-jsonl", default=None, metavar="PATH",
+                   help="stream telemetry events to a JSONL file")
     p.set_defaults(fn=_cmd_chaos)
 
     return parser

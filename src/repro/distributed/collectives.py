@@ -22,9 +22,12 @@ attached, every collective runs in *degraded mode*:
 - injected stragglers (``collective.straggler``) are counted but never
   slept on.
 
-Every degradation event lands in the ``events`` dict so benchmark
-reports can surface retry/drop rates alongside the byte counters. With no
-injector attached the fast exact path runs unchanged.
+All byte/count/degradation counters live in the shared telemetry
+registry (``collective.bytes{op=...}``, ``collective.events{event=...}``,
+labelled per communicator instance); the ``bytes_*``/``num_collectives``
+attributes and the ``events`` dict remain as thin read views so existing
+benchmark reports keep working. With no injector attached the fast exact
+path runs unchanged.
 """
 
 from __future__ import annotations
@@ -33,7 +36,22 @@ import zlib
 
 import numpy as np
 
+from repro.telemetry import emit_event, get_registry, trace
+
 __all__ = ["Communicator", "CollectiveError"]
+
+# Degradation-event counter names (also the keys of ``Communicator.events``).
+_EVENT_NAMES = (
+    "corruptions_detected",
+    "retries",
+    "workers_dropped",
+    "degraded_collectives",
+    "collective_restarts",
+    "stragglers",
+)
+
+# Distinguishes communicator instances in the shared metrics registry.
+_INSTANCE_SEQ = 0
 
 
 class CollectiveError(RuntimeError):
@@ -71,31 +89,57 @@ class Communicator:
         self.world_size = world_size
         self.injector = injector
         self.max_retries = max_retries
-        self.bytes_allreduce = 0
-        self.bytes_all_to_all = 0
-        self.bytes_allgather = 0
-        self.num_collectives = 0
         self.last_dropped: list[int] = []
-        self.events = {
-            "corruptions_detected": 0,
-            "retries": 0,
-            "workers_dropped": 0,
-            "degraded_collectives": 0,
-            "collective_restarts": 0,
-            "stragglers": 0,
+        # All counters live in the shared metrics registry under a
+        # per-instance ``comm`` label; the byte/count attributes and the
+        # ``events`` dict the benchmarks read are thin views over them.
+        global _INSTANCE_SEQ
+        self.metrics_label = f"comm#{_INSTANCE_SEQ}"
+        _INSTANCE_SEQ += 1
+        reg = get_registry()
+        self._c_bytes = {
+            op: reg.counter("collective.bytes", op=op, comm=self.metrics_label)
+            for op in ("allreduce", "allgather", "all_to_all")
         }
+        self._c_count = reg.counter("collective.count", comm=self.metrics_label)
+        self._c_events = {
+            name: reg.counter("collective.events", event=name,
+                              comm=self.metrics_label)
+            for name in _EVENT_NAMES
+        }
+
+    @property
+    def bytes_allreduce(self) -> int:
+        return self._c_bytes["allreduce"].value
+
+    @property
+    def bytes_allgather(self) -> int:
+        return self._c_bytes["allgather"].value
+
+    @property
+    def bytes_all_to_all(self) -> int:
+        return self._c_bytes["all_to_all"].value
+
+    @property
+    def num_collectives(self) -> int:
+        return self._c_count.value
+
+    @property
+    def events(self) -> dict[str, int]:
+        """Degradation-event counters as a plain dict (report-ready copy)."""
+        return {name: c.value for name, c in self._c_events.items()}
 
     @property
     def total_bytes(self) -> int:
         return self.bytes_allreduce + self.bytes_all_to_all + self.bytes_allgather
 
     def reset_counters(self) -> None:
-        self.bytes_allreduce = 0
-        self.bytes_all_to_all = 0
-        self.bytes_allgather = 0
-        self.num_collectives = 0
+        for counter in self._c_bytes.values():
+            counter.reset()
+        self._c_count.reset()
+        for counter in self._c_events.values():
+            counter.reset()
         self.last_dropped = []
-        self.events = {key: 0 for key in self.events}
 
     # ------------------------------------------------------------------ #
     # Degraded-mode plumbing
@@ -110,16 +154,16 @@ class Communicator:
         ``max_retries`` re-transmissions all arrive corrupted.
         """
         if self.injector.fires("collective.straggler"):
-            self.events["stragglers"] += 1
+            self._c_events["stragglers"].inc()
         expected = zlib.crc32(buffer.tobytes())
         for attempt in range(self.max_retries + 1):
             payload = buffer.copy()
             self.injector.corrupt("collective.payload", payload)
             if zlib.crc32(payload.tobytes()) == expected:
                 return payload
-            self.events["corruptions_detected"] += 1
+            self._c_events["corruptions_detected"].inc()
             if attempt < self.max_retries:
-                self.events["retries"] += 1
+                self._c_events["retries"].inc()
         return None
 
     def _collect(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
@@ -144,10 +188,13 @@ class Communicator:
             if contributions:
                 self.last_dropped = dropped
                 if dropped:
-                    self.events["workers_dropped"] += len(dropped)
-                    self.events["degraded_collectives"] += 1
+                    self._c_events["workers_dropped"].inc(len(dropped))
+                    self._c_events["degraded_collectives"].inc()
+                    emit_event("collective.degraded", comm=self.metrics_label,
+                               dropped_ranks=dropped,
+                               survivors=len(contributions))
                 return contributions
-            self.events["collective_restarts"] += 1
+            self._c_events["collective_restarts"].inc()
         raise CollectiveError(
             f"all {self.world_size} workers failed the collective in "
             f"{self.max_retries + 1} attempts (dropped or unrecoverably "
@@ -169,14 +216,15 @@ class Communicator:
         k = self.world_size
         size = buffers[0].nbytes
         if k > 1:
-            self.bytes_allreduce += int(2 * size * (k - 1) / k) * k
-        self.num_collectives += 1
-        contributions = buffers if self.injector is None else self._collect(buffers)
-        out = contributions[0].astype(np.float64, copy=True)
-        for b in contributions[1:]:
-            out += b
-        out /= len(contributions)
-        return out.astype(buffers[0].dtype, copy=False)
+            self._c_bytes["allreduce"].inc(int(2 * size * (k - 1) / k) * k)
+        self._c_count.inc()
+        with trace("collective.allreduce", op="mean"):
+            contributions = buffers if self.injector is None else self._collect(buffers)
+            out = contributions[0].astype(np.float64, copy=True)
+            for b in contributions[1:]:
+                out += b
+            out /= len(contributions)
+            return out.astype(buffers[0].dtype, copy=False)
 
     def allreduce_sum(self, buffers: list[np.ndarray]) -> np.ndarray:
         """Sum one array across workers; every worker gets the result.
@@ -192,15 +240,16 @@ class Communicator:
         k = self.world_size
         size = buffers[0].nbytes
         if k > 1:
-            self.bytes_allreduce += int(2 * size * (k - 1) / k) * k
-        self.num_collectives += 1
-        contributions = buffers if self.injector is None else self._collect(buffers)
-        out = contributions[0].astype(np.float64, copy=True)
-        for b in contributions[1:]:
-            out += b
-        if len(contributions) != k:
-            out *= k / len(contributions)
-        return out.astype(buffers[0].dtype, copy=False)
+            self._c_bytes["allreduce"].inc(int(2 * size * (k - 1) / k) * k)
+        self._c_count.inc()
+        with trace("collective.allreduce", op="sum"):
+            contributions = buffers if self.injector is None else self._collect(buffers)
+            out = contributions[0].astype(np.float64, copy=True)
+            for b in contributions[1:]:
+                out += b
+            if len(contributions) != k:
+                out *= k / len(contributions)
+            return out.astype(buffers[0].dtype, copy=False)
 
     def allgather(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
         """Every worker receives every worker's array (returned as a list).
@@ -212,11 +261,12 @@ class Communicator:
         self._check(buffers)
         k = self.world_size
         if k > 1:
-            self.bytes_allgather += sum(int(b.nbytes) * (k - 1) for b in buffers)
-        self.num_collectives += 1
-        if self.injector is None:
-            return [b.copy() for b in buffers]
-        return self._collect(buffers)
+            self._c_bytes["allgather"].inc(sum(int(b.nbytes) * (k - 1) for b in buffers))
+        self._c_count.inc()
+        with trace("collective.allgather"):
+            if self.injector is None:
+                return [b.copy() for b in buffers]
+            return self._collect(buffers)
 
     def all_to_all(self, chunks: list[list[np.ndarray]]) -> list[list[np.ndarray]]:
         """Transpose a K x K grid of arrays: worker ``i``'s ``chunks[i][j]``
@@ -230,9 +280,10 @@ class Communicator:
         for i in range(k):
             for j in range(k):
                 if i != j:
-                    self.bytes_all_to_all += int(chunks[i][j].nbytes)
-        self.num_collectives += 1
-        return [[chunks[i][j].copy() for i in range(k)] for j in range(k)]
+                    self._c_bytes["all_to_all"].inc(int(chunks[i][j].nbytes))
+        self._c_count.inc()
+        with trace("collective.all_to_all"):
+            return [[chunks[i][j].copy() for i in range(k)] for j in range(k)]
 
     # ------------------------------------------------------------------ #
 

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.telemetry import emit_event
 from repro.utils.seeding import as_rng
 
 __all__ = ["FaultSpec", "FaultInjector", "KNOWN_SITES"]
@@ -153,6 +154,8 @@ class FaultInjector:
         if self._rng.random() >= spec.probability:
             return None
         self.fired[site] += 1
+        emit_event("fault.fired", site=site, kind=spec.kind,
+                   count=self.fired[site])
         return spec
 
     def fires(self, site: str) -> bool:

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.models.serialization import named_modules
 from repro.ops.module import Module
+from repro.telemetry import emit_event
 
 __all__ = ["GuardPolicy", "DivergenceGuard", "scrub_non_finite"]
 
@@ -133,6 +134,7 @@ class DivergenceGuard:
                 optimizer.lr = self._base_lr
                 self._active_backoffs = 0
                 self.events["lr_restores"] += 1
+                emit_event("guard.lr_restore", lr=float(optimizer.lr))
             return True
         if pol.on_nonfinite == "raise":
             raise FloatingPointError(
@@ -142,13 +144,18 @@ class DivergenceGuard:
         self._healthy_streak = 0
         self._failure_streak += 1
         self.events["skipped_batches"] += 1
+        emit_event("guard.skip", loss=float(loss),
+                   failure_streak=self._failure_streak)
         if self.events["skipped_batches"] > pol.max_skips:
             raise FloatingPointError(
                 f"training diverged: more than {pol.max_skips} batches "
                 "produced non-finite losses/gradients under the guard policy"
             )
         if pol.scrub and model is not None:
-            self.events["scrubbed_values"] += scrub_non_finite(model)
+            scrubbed = scrub_non_finite(model)
+            self.events["scrubbed_values"] += scrubbed
+            if scrubbed:
+                emit_event("guard.scrub", values=scrubbed)
         if (optimizer is not None
                 and self._failure_streak >= pol.backoff_after
                 and self._active_backoffs < pol.max_backoffs):
@@ -157,6 +164,8 @@ class DivergenceGuard:
             optimizer.lr *= pol.lr_backoff
             self._active_backoffs += 1
             self.events["lr_backoffs"] += 1
+            emit_event("guard.lr_backoff", lr=float(optimizer.lr),
+                       active_backoffs=self._active_backoffs)
         return False
 
     def wants_rollback(self, losses: list[float]) -> bool:
@@ -171,6 +180,8 @@ class DivergenceGuard:
             if self._spike_run >= self.policy.spike_patience:
                 self._spike_run = 0
                 self.events["rollbacks"] += 1
+                emit_event("guard.rollback", smoothed_loss=smoothed,
+                           best_smoothed=float(self._best_smoothed))
                 return True
         else:
             self._spike_run = 0

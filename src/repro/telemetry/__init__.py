@@ -1,0 +1,77 @@
+"""Unified telemetry layer: metrics registry, span tracer, JSONL events.
+
+Three cooperating pieces, all process-wide singletons so every component
+reports into one place (docs/OBSERVABILITY.md has the full conventions):
+
+- :mod:`repro.telemetry.registry` — labelled counters/gauges/histograms
+  (``get_registry()``), always on, backing ``stats()`` methods and the
+  byte/hit/fault counters across the cache, collectives and reliability
+  runtime;
+- :mod:`repro.telemetry.tracer` — nested timing spans
+  (``with trace("tt.forward.gemm", core=k):``), off by default with a
+  near-zero-cost no-op path, aggregated into a span tree that
+  ``repro profile`` prints;
+- :mod:`repro.telemetry.events` — a structured JSONL sink for discrete
+  events (fault firings, guard actions, cache refreshes) plus the
+  ``--emit-json`` snapshot document combining registry + span tree.
+"""
+
+from repro.telemetry.events import (
+    EVENT_SCHEMA,
+    SNAPSHOT_SCHEMA,
+    JsonlSink,
+    emit_event,
+    get_sink,
+    install_sink,
+    read_events,
+    snapshot,
+    uninstall_sink,
+    validate_event,
+    validate_snapshot,
+    write_snapshot,
+)
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    metric_key,
+)
+from repro.telemetry.tracer import (
+    SpanNode,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    trace,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "metric_key",
+    "SpanNode",
+    "Tracer",
+    "trace",
+    "get_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "EVENT_SCHEMA",
+    "SNAPSHOT_SCHEMA",
+    "JsonlSink",
+    "install_sink",
+    "uninstall_sink",
+    "get_sink",
+    "emit_event",
+    "read_events",
+    "validate_event",
+    "snapshot",
+    "write_snapshot",
+    "validate_snapshot",
+]

@@ -2,9 +2,13 @@
 
 One :class:`Trainer` owns a model, an optimizer and a data source, and
 provides the timed training loop every timing experiment (Fig. 7, Fig. 10)
-builds on. Timing uses ``time.perf_counter`` around the full
-forward/loss/backward/step iteration, mirroring the paper's ms/iter
-numbers.
+builds on. The loop accounts wall-clock per stage — data fetch, forward,
+backward, optimizer, checkpointing — surfaced on
+:class:`TrainResult` (``stage_time_s``, ``per_iter_ms``,
+``ms_per_iter``/``ms_per_iter_steady``, ``timing_breakdown()``), and opens
+telemetry spans (``trainer.forward`` etc., see :mod:`repro.telemetry`)
+around the same stages so ``repro profile`` can show where iteration time
+goes. The overall ``ms_per_iter`` mirrors the paper's numbers.
 
 The loop is fault-tolerant when asked to be (see
 :mod:`repro.reliability`): a :class:`~repro.reliability.guard.DivergenceGuard`
@@ -24,6 +28,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 
 import numpy as np
 
@@ -31,9 +36,13 @@ from repro.data.batching import Batch
 from repro.models.dlrm import DLRM
 from repro.ops.loss import bce_with_logits
 from repro.ops.optim import SparseSGD
+from repro.telemetry import emit_event, trace
 from repro.training.metrics import accuracy, bce_loss, normalized_entropy, roc_auc
 
 __all__ = ["Trainer", "TrainResult", "EvalResult"]
+
+# The per-iteration stages the trainer accounts separately.
+STAGES = ("data", "forward", "backward", "optimizer", "checkpoint")
 
 
 @dataclass
@@ -46,13 +55,39 @@ class TrainResult:
     skipped: int = 0       # batches the divergence guard refused to apply
     rollbacks: int = 0     # checkpoint restores triggered by loss spikes
     start_iteration: int = 0  # > 0 when the run resumed from a checkpoint
+    # Wall-clock of each applied iteration (data fetch + forward + backward
+    # + optimizer), and cumulative per-stage seconds over the whole run.
+    per_iter_ms: list[float] = field(default_factory=list)
+    stage_time_s: dict[str, float] = field(default_factory=dict)
 
     @property
     def ms_per_iter(self) -> float:
         """Mean wall-clock per iteration *executed by this call* (resumed
-        iterations restored from a checkpoint carry no time)."""
+        iterations restored from a checkpoint carry no time). Includes the
+        first iteration's warm-up cost; see :attr:`ms_per_iter_steady`."""
         executed = self.iterations - self.start_iteration
         return 1000.0 * self.total_time_s / executed if executed > 0 else 0.0
+
+    @property
+    def ms_per_iter_steady(self) -> float:
+        """Steady-state mean ms/iter: the first executed iteration is
+        excluded, since it alone pays allocator growth, first-touch page
+        faults and BLAS thread-pool spin-up and skews short runs."""
+        if len(self.per_iter_ms) > 1:
+            return float(np.mean(self.per_iter_ms[1:]))
+        return self.ms_per_iter
+
+    def timing_breakdown(self) -> dict[str, float]:
+        """Per-stage mean ms/iter (plus ``other``: loop bookkeeping,
+        guard checks, replay) over the iterations executed by this call."""
+        executed = self.iterations - self.start_iteration
+        if executed <= 0:
+            return {}
+        out = {stage: 1000.0 * self.stage_time_s.get(stage, 0.0) / executed
+               for stage in STAGES}
+        accounted = sum(self.stage_time_s.values())
+        out["other"] = 1000.0 * max(0.0, self.total_time_s - accounted) / executed
+        return out
 
     @property
     def final_loss(self) -> float:
@@ -118,6 +153,9 @@ class Trainer:
         self.injector = injector
         self.rng = rng
         self.last_step_skipped = False
+        # Stage seconds of the most recent train_step (data time is added
+        # by the train loop, which owns the batch iterator).
+        self.last_step_timings: dict[str, float] = {}
 
     def train_step(self, batch: Batch) -> float:
         """One forward/backward/update step; returns the batch loss.
@@ -130,25 +168,41 @@ class Trainer:
         runs instead.
         """
         self.last_step_skipped = False
+        t0 = perf_counter_ns()
         self.optimizer.zero_grad()
-        logits = self.model.forward(
-            batch.dense, batch.sparse, batch.per_sample_weights
-        )
-        loss, grad = bce_with_logits(logits, batch.labels)
+        with trace("trainer.forward"):
+            logits = self.model.forward(
+                batch.dense, batch.sparse, batch.per_sample_weights
+            )
+            loss, grad = bce_with_logits(logits, batch.labels)
+        t1 = perf_counter_ns()
         if self.injector is not None:
             self.injector.corrupt("trainer.grad", grad)
         if self.guard is not None:
             if not self.guard.admit(loss, grad, model=self.model,
                                     optimizer=self.optimizer):
                 self.last_step_skipped = True
+                self.last_step_timings = {
+                    "forward": (t1 - t0) / 1e9, "backward": 0.0,
+                    "optimizer": 0.0,
+                }
                 return float(loss)
         elif not np.isfinite(loss):
             raise FloatingPointError(
                 f"training diverged: loss={loss!r}; lower the learning rate "
                 "or check the input data for non-finite values"
             )
-        self.model.backward(grad)
-        self.optimizer.step()
+        with trace("trainer.backward"):
+            self.model.backward(grad)
+        t2 = perf_counter_ns()
+        with trace("trainer.optimizer"):
+            self.optimizer.step()
+        t3 = perf_counter_ns()
+        self.last_step_timings = {
+            "forward": (t1 - t0) / 1e9,
+            "backward": (t2 - t1) / 1e9,
+            "optimizer": (t3 - t2) / 1e9,
+        }
         return loss
 
     def train(self, batches, *, max_iters: int | None = None,
@@ -198,18 +252,35 @@ class Trainer:
             result.iterations = ck.step
             result.losses = ck.losses
 
+        stage = dict.fromkeys(STAGES, 0.0)
         start = time.perf_counter()
-        for i, batch in enumerate(batches):
-            if max_iters is not None and i >= max_iters:
-                break
+        stream = iter(batches)
+        i = 0
+        while max_iters is None or i < max_iters:
+            t_fetch = perf_counter_ns()
+            with trace("trainer.data"):
+                try:
+                    batch = next(stream)
+                except StopIteration:
+                    break
+            data_s = (perf_counter_ns() - t_fetch) / 1e9
             if i < result.start_iteration:
+                i += 1
                 continue  # replay: consume the stream to advance its RNG
+            stage["data"] += data_s
             loss = self.train_step(batch)
+            step = self.last_step_timings
+            for key in ("forward", "backward", "optimizer"):
+                stage[key] += step.get(key, 0.0)
             if self.last_step_skipped:
                 result.skipped += 1
             else:
                 result.losses.append(loss)
                 result.iterations += 1
+                result.per_iter_ms.append(1000.0 * (
+                    data_s + step.get("forward", 0.0)
+                    + step.get("backward", 0.0) + step.get("optimizer", 0.0)
+                ))
             if log_every and (i + 1) % log_every == 0:
                 log_fn(
                     f"iter {i + 1}: loss={np.mean(result.losses[-log_every:]):.4f}"
@@ -221,11 +292,19 @@ class Trainer:
                 result.losses = ck.losses
                 result.rollbacks += 1
                 self.guard.notify_rollback()
+                emit_event("trainer.rollback", step=i + 1,
+                           restored_step=ck.step)
             if (checkpoint_every is not None
                     and (i + 1) % checkpoint_every == 0):
-                manager.save(i + 1, self.model, optimizer=self.optimizer,
-                             rng=self.rng, losses=result.losses)
+                t_ck = perf_counter_ns()
+                with trace("trainer.checkpoint"):
+                    manager.save(i + 1, self.model, optimizer=self.optimizer,
+                                 rng=self.rng, losses=result.losses)
+                stage["checkpoint"] += (perf_counter_ns() - t_ck) / 1e9
+                emit_event("checkpoint.save", step=i + 1)
+            i += 1
         result.total_time_s = time.perf_counter() - start
+        result.stage_time_s = stage
         return result
 
     def evaluate(self, batches, *, max_iters: int | None = None) -> EvalResult:

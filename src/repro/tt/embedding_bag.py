@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.ops.embedding import segment_sum
 from repro.ops.module import Module, Parameter
+from repro.telemetry import trace
 from repro.tt.decomposition import tt_reconstruct
 from repro.tt.initialization import tt_core_initializer
 from repro.tt.kernels import scatter_add_rows
@@ -115,17 +116,19 @@ class TTEmbeddingBag(Module):
         (the ``tr_k`` buffers of Algorithm 1).
         """
         n = decoded.shape[1]
-        first = self.cores[0].data[decoded[0]]  # (n, 1, n_1, R_1)
-        res = first.reshape(n, self.shape.col_factors[0], self.shape.ranks[1])
+        with trace("tt.forward.gather", core=0):
+            first = self.cores[0].data[decoded[0]]  # (n, 1, n_1, R_1)
+            res = first.reshape(n, self.shape.col_factors[0], self.shape.ranks[1])
         lefts = [res]
         for k in range(1, self.shape.d):
-            core = self.cores[k].data[decoded[k]]  # (n, R_{k-1}, n_k, R_k)
-            r_prev = self.shape.ranks[k]
-            r_next = self.shape.ranks[k + 1]
-            nk = self.shape.col_factors[k]
-            # Batched GEMM: (n, P, R_{k-1}) @ (n, R_{k-1}, n_k*R_k)
-            res = np.matmul(res, core.reshape(n, r_prev, nk * r_next))
-            res = res.reshape(n, -1, r_next)
+            with trace("tt.forward.gemm", core=k):
+                core = self.cores[k].data[decoded[k]]  # (n, R_{k-1}, n_k, R_k)
+                r_prev = self.shape.ranks[k]
+                r_next = self.shape.ranks[k + 1]
+                nk = self.shape.col_factors[k]
+                # Batched GEMM: (n, P, R_{k-1}) @ (n, R_{k-1}, n_k*R_k)
+                res = np.matmul(res, core.reshape(n, r_prev, nk * r_next))
+                res = res.reshape(n, -1, r_next)
             lefts.append(res)
         rows = res.reshape(n, self.dim)
         return rows, lefts
@@ -176,12 +179,13 @@ class TTEmbeddingBag(Module):
             decoded = self.shape.decode_indices(indices)
             rows, lefts = self._row_chain(decoded)
 
-        weighted = rows if alpha is None else rows * alpha[:, None]
-        out = segment_sum(weighted, offsets)
-        counts = np.diff(offsets)
-        if self.mode == "mean":
-            scale = np.where(counts > 0, counts, 1).astype(np.float64)
-            out = out / scale[:, None]
+        with trace("tt.forward.pool"):
+            weighted = rows if alpha is None else rows * alpha[:, None]
+            out = segment_sum(weighted, offsets)
+            counts = np.diff(offsets)
+            if self.mode == "mean":
+                scale = np.where(counts > 0, counts, 1).astype(np.float64)
+                out = out / scale[:, None]
         self._cache = {
             "indices": indices,
             "decoded": decoded,
@@ -223,7 +227,8 @@ class TTEmbeddingBag(Module):
         lefts = c["lefts"]
         if lefts is None:
             # Recompute-intermediates arm (paper §4.2, Algorithm 2 line 3).
-            _, lefts = self._row_chain(decoded)
+            with trace("tt.backward.recompute"):
+                _, lefts = self._row_chain(decoded)
         self._accumulate_core_grads(decoded, grad_rows, lefts)
 
     def _accumulate_core_grads(self, decoded: np.ndarray, grad_rows: np.ndarray,
@@ -240,21 +245,24 @@ class TTEmbeddingBag(Module):
             nk = self.shape.col_factors[k]
             left = lefts[k - 1] if k > 0 else np.ones((n, 1, 1))
             p = left.shape[1]
-            # dO as (n, P_{k-1}, n_k * Q_k)
-            d_out = grad_rows.reshape(n, p, nk * q)
-            # (n, R_{k-1}, P) @ (n, P, n_k*Q) -> (n, R_{k-1}, n_k*Q)
-            tmp = np.matmul(left.transpose(0, 2, 1), d_out)
-            tmp = tmp.reshape(n, r_prev * nk, q)
-            # (n, R_{k-1}*n_k, Q) @ (n, Q, R_k) -> per-sample core gradient
-            g = np.matmul(tmp, right.transpose(0, 2, 1))
-            g = g.reshape(n, r_prev, nk, r_next)
-            scatter_add_rows(self.cores[k].grad, decoded[k], g)
+            with trace("tt.backward.gemm", core=k):
+                # dO as (n, P_{k-1}, n_k * Q_k)
+                d_out = grad_rows.reshape(n, p, nk * q)
+                # (n, R_{k-1}, P) @ (n, P, n_k*Q) -> (n, R_{k-1}, n_k*Q)
+                tmp = np.matmul(left.transpose(0, 2, 1), d_out)
+                tmp = tmp.reshape(n, r_prev * nk, q)
+                # (n, R_{k-1}*n_k, Q) @ (n, Q, R_k) -> per-sample core gradient
+                g = np.matmul(tmp, right.transpose(0, 2, 1))
+                g = g.reshape(n, r_prev, nk, r_next)
+            with trace("tt.backward.scatter", core=k):
+                scatter_add_rows(self.cores[k].grad, decoded[k], g)
             self.cores[k].record_touched(decoded[k])
             if k > 0:
-                core = self.cores[k].data[decoded[k]]  # (n, R_{k-1}, n_k, R_k)
-                # Right_{k-1} = G_k(i_k) · Right_k, reshaped to (n, R_{k-1}, n_k*Q)
-                right = np.matmul(core.reshape(n, r_prev * nk, r_next), right.reshape(n, r_next, q))
-                right = right.reshape(n, r_prev, nk * q)
+                with trace("tt.backward.gemm_right", core=k):
+                    core = self.cores[k].data[decoded[k]]  # (n, R_{k-1}, n_k, R_k)
+                    # Right_{k-1} = G_k(i_k) · Right_k, reshaped to (n, R_{k-1}, n_k*Q)
+                    right = np.matmul(core.reshape(n, r_prev * nk, r_next), right.reshape(n, r_next, q))
+                    right = right.reshape(n, r_prev, nk * q)
                 q *= nk
 
     # ------------------------------------------------------------------ #

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.telemetry import trace
 from repro.tt.shapes import TTShape
 
 __all__ = ["scatter_add_rows", "tt_lookup_reference"]
@@ -35,14 +36,15 @@ def scatter_add_rows(buf: np.ndarray, rows: np.ndarray, vals: np.ndarray) -> Non
         return
     if rows.shape[0] != vals.shape[0]:
         raise ValueError(f"rows ({rows.shape[0]}) and vals ({vals.shape[0]}) disagree")
-    flat = vals.reshape(rows.shape[0], -1)
-    order = np.argsort(rows, kind="stable")
-    sorted_rows = rows[order]
-    sorted_vals = flat[order]
-    uniq, starts = np.unique(sorted_rows, return_index=True)
-    summed = np.add.reduceat(sorted_vals, starts, axis=0)
-    buf_flat = buf.reshape(buf.shape[0], -1)
-    buf_flat[uniq] += summed
+    with trace("kernels.scatter_add"):
+        flat = vals.reshape(rows.shape[0], -1)
+        order = np.argsort(rows, kind="stable")
+        sorted_rows = rows[order]
+        sorted_vals = flat[order]
+        uniq, starts = np.unique(sorted_rows, return_index=True)
+        summed = np.add.reduceat(sorted_vals, starts, axis=0)
+        buf_flat = buf.reshape(buf.shape[0], -1)
+        buf_flat[uniq] += summed
 
 
 def tt_lookup_reference(cores: list[np.ndarray], shape: TTShape,
@@ -55,7 +57,14 @@ def tt_lookup_reference(cores: list[np.ndarray], shape: TTShape,
     indices = np.asarray(indices, dtype=np.int64)
     decoded = shape.decode_indices(indices)
     out = np.empty((indices.size, shape.dim), dtype=np.float64)
-    for row in range(indices.size):
+    with trace("kernels.naive_chain", rows=int(indices.size)):
+        return _naive_chain(cores, shape, decoded, out)
+
+
+def _naive_chain(cores: list[np.ndarray], shape: TTShape, decoded: np.ndarray,
+                 out: np.ndarray) -> np.ndarray:
+    indices_size = out.shape[0]
+    for row in range(indices_size):
         acc = np.ones((1, 1))
         for k in range(shape.d):
             slice_k = cores[k][decoded[k, row]]  # (R_{k-1}, n_k, R_k)

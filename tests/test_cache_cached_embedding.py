@@ -169,3 +169,49 @@ class TestConfigValidation:
         assert emb.compression_ratio() == pytest.approx(
             60 * 8 / emb.num_parameters()
         )
+
+
+class TestStats:
+    def test_stats_structured_dict(self):
+        emb = make(warmup_steps=1, cache_size=2)
+        emb.forward(np.array([3, 3, 3, 4]))
+        emb.forward(np.array([3, 4, 9]))  # populate fires this step
+        emb.forward(np.array([3, 4, 9]))
+        s = emb.stats()
+        assert s["lookups"] == 10
+        assert s["hits"] + s["misses"] == s["lookups"]
+        assert s["hit_rate"] == pytest.approx(emb.hit_rate())
+        assert s["hit_rate"] == pytest.approx(s["hits"] / s["lookups"])
+        assert s["insertions"] >= 1 and s["refreshes"] >= 1
+        assert s["resident_rows"] <= s["cache_size"] == 2
+        assert s["populated"] is True
+
+    def test_stats_cold(self):
+        s = make().stats()
+        assert s["lookups"] == 0 and s["hits"] == 0
+        assert s["hit_rate"] == 0.0
+        assert s["populated"] is False
+
+    def test_reset_stats_keeps_cache_contents(self):
+        emb = make(warmup_steps=1, cache_size=2)
+        emb.forward(np.array([3, 3, 4]))
+        emb.forward(np.array([3, 4]))
+        resident_before = emb.stats()["resident_rows"]
+        emb.reset_stats()
+        s = emb.stats()
+        assert s["lookups"] == 0 and s["hits"] == 0 and s["refreshes"] == 0
+        assert s["resident_rows"] == resident_before  # contents untouched
+        assert emb.hit_rate() == 0.0
+        # Counting resumes cleanly after the reset.
+        emb.forward(np.array([3]))
+        assert emb.stats()["lookups"] == 1
+
+    def test_legacy_counter_shims(self):
+        """The pre-registry attribute API still reads and writes."""
+        emb = make(warmup_steps=1, cache_size=2)
+        emb.forward(np.array([3, 3, 4]))
+        assert emb.lookups == 3
+        emb.lookups = 7  # checkpoint restore path assigns directly
+        assert emb.stats()["lookups"] == 7
+        emb.repaired_rows += 2
+        assert emb.stats()["repairs"] == 2

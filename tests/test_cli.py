@@ -78,3 +78,66 @@ class TestCommands:
                      "--tolerance", "1.0"]) == 0
         out = capsys.readouterr().out
         assert "fault-free" in out and "injector" in out and "PASS" in out
+
+    def test_profile_smoke(self, capsys):
+        assert main(["profile", "--iters", "12", "--scale", "0.0002"]) == 0
+        out = capsys.readouterr().out
+        # Span tree with per-core GEMM timings plus the two tables.
+        assert "tt.forward.gemm[core=1]" in out
+        assert "trainer.forward" in out
+        assert "collective.allreduce" in out
+        assert "cache.hits" in out
+        assert "hit rate" in out
+
+    def test_profile_emit_json(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import read_events, validate_snapshot
+
+        snap = tmp_path / "profile.json"
+        events = tmp_path / "events.jsonl"
+        assert main(["profile", "--iters", "12", "--scale", "0.0002",
+                     "--emit-json", str(snap),
+                     "--events-jsonl", str(events)]) == 0
+        doc = json.loads(snap.read_text())
+        validate_snapshot(doc)
+        assert doc["command"] == "profile"
+        counters = doc["metrics"]["counters"]
+        assert any(k.startswith("cache.lookups") for k in counters)
+        assert any(k.startswith("collective.bytes") for k in counters)
+        assert "profile.train" in doc["spans"]
+        assert read_events(events, event_type="cache.populate")
+
+    def test_train_emit_json(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import validate_snapshot
+
+        snap = tmp_path / "train.json"
+        assert main(["train", "--iters", "15", "--scale", "0.0002",
+                     "--emit-json", str(snap)]) == 0
+        doc = json.loads(snap.read_text())
+        validate_snapshot(doc)
+        assert doc["command"] == "train"
+        models = doc["result"]["models"]
+        assert set(models) == {"baseline", "tt-rec r16"}
+        for m in models.values():
+            assert m["iterations"] == 15
+            assert m["ms_per_iter"] > 0
+            assert m["ms_per_iter_steady"] > 0
+            assert set(m["stage_ms_per_iter"]) >= {"data", "forward",
+                                                   "backward", "optimizer"}
+
+    def test_chaos_emit_json(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import validate_snapshot
+
+        snap = tmp_path / "chaos.json"
+        assert main(["chaos", "--iters", "40", "--scale", "0.0002",
+                     "--tolerance", "1.0", "--emit-json", str(snap)]) == 0
+        doc = json.loads(snap.read_text())
+        validate_snapshot(doc)
+        assert doc["command"] == "chaos"
+        assert doc["result"]["passed"] is True
+        assert "injector" in doc["result"]

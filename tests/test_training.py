@@ -154,3 +154,52 @@ class TestTrainer:
         assert res.ms_per_iter == 0.0
         assert np.isnan(res.final_loss)
         assert np.isnan(res.smoothed_loss())
+
+
+class TestTimingBreakdown:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        spec = KAGGLE.scaled(0.0003)
+        ds = SyntheticCTRDataset(spec, seed=0, noise=0.6)
+        cfg = DLRMConfig(table_sizes=spec.table_sizes, emb_dim=8,
+                         bottom_mlp=(16,), top_mlp=(16,))
+        return ds, cfg
+
+    def test_per_iter_and_stage_times(self, setup):
+        ds, cfg = setup
+        trainer = Trainer(build_dlrm(cfg, rng=0), lr=0.1)
+        res = trainer.train(ds.batches(32, 10))
+        assert len(res.per_iter_ms) == 10
+        assert all(ms > 0 for ms in res.per_iter_ms)
+        for stage in ("data", "forward", "backward", "optimizer"):
+            assert res.stage_time_s[stage] > 0
+        # Stage accounting cannot exceed the measured wall-clock.
+        assert sum(res.stage_time_s.values()) <= res.total_time_s * 1.01
+
+    def test_steady_state_excludes_warmup(self, setup):
+        ds, cfg = setup
+        trainer = Trainer(build_dlrm(cfg, rng=0), lr=0.1)
+        res = trainer.train(ds.batches(32, 10))
+        expected = float(np.mean(res.per_iter_ms[1:]))
+        assert res.ms_per_iter_steady == pytest.approx(expected)
+        # Overall mean still covers every executed iteration.
+        assert res.ms_per_iter == pytest.approx(
+            1000.0 * res.total_time_s / 10)
+
+    def test_timing_breakdown_covers_wallclock(self, setup):
+        ds, cfg = setup
+        trainer = Trainer(build_dlrm(cfg, rng=0), lr=0.1)
+        res = trainer.train(ds.batches(32, 8))
+        bd = res.timing_breakdown()
+        assert set(bd) == {"data", "forward", "backward", "optimizer",
+                           "checkpoint", "other"}
+        assert bd["checkpoint"] == 0.0  # no checkpointing configured
+        assert sum(bd.values()) == pytest.approx(res.ms_per_iter, rel=0.05)
+
+    def test_empty_result_timing(self):
+        from repro.training import TrainResult
+
+        res = TrainResult()
+        assert res.ms_per_iter_steady == 0.0
+        assert res.timing_breakdown() == {}
+        assert res.per_iter_ms == [] and res.stage_time_s == {}
