@@ -12,12 +12,17 @@ Subcommands (also available via ``python -m repro <cmd>``):
   seeded gradient/cache faults, compared against the fault-free run;
 - ``profile``  — telemetry drill-down: a short TT-Rec + cache training
   workload plus a simulated allreduce leg, printed as a nested span tree,
-  a per-stage iteration breakdown and a shared-registry metrics table.
+  a per-stage iteration breakdown and a shared-registry metrics table;
+- ``serve-bench`` — closed-loop load test of the hardened serving runtime
+  (docs/SERVING.md): p50/p99 latency, shed rate, degradation-ladder and
+  circuit-breaker activity, optionally under ``serving.*`` fault
+  injection with fault-ledger reconciliation.
 
-``train``/``chaos``/``profile`` accept ``--emit-json PATH`` to write a
-machine-readable telemetry snapshot (schema ``repro.telemetry/v1``; see
-docs/OBSERVABILITY.md), and ``chaos``/``profile`` accept
-``--events-jsonl PATH`` to stream fault/guard/cache events as JSONL.
+``train``/``chaos``/``profile``/``serve-bench`` accept ``--emit-json
+PATH`` to write a machine-readable telemetry snapshot (schema
+``repro.telemetry/v1``; see docs/OBSERVABILITY.md), and
+``chaos``/``profile``/``serve-bench`` accept ``--events-jsonl PATH`` to
+stream fault/guard/cache/breaker events as JSONL.
 
 Analyses that need no training are exact and instantaneous; ``train``,
 ``chaos`` and ``profile`` use the scaled synthetic dataset and take a few
@@ -352,6 +357,109 @@ def _cmd_chaos(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve_bench(args) -> int:
+    """Closed-loop load test of the hardened serving runtime."""
+    import json
+
+    from repro.data import KAGGLE
+    from repro.inference import Predictor
+    from repro.models import DLRMConfig, TTConfig, build_ttrec
+    from repro.reliability import FaultInjector
+    from repro.serving import InferenceServer, ManualClock, ServerConfig, run_load
+
+    spec = KAGGLE.scaled(args.scale)
+    cfg = DLRMConfig(table_sizes=spec.table_sizes, emb_dim=8,
+                     bottom_mlp=(16,), top_mlp=(16,))
+    tt = TTConfig(rank=args.rank, use_cache=True, warmup_steps=0,
+                  refresh_interval=None, cache_fraction=0.05)
+    model = build_ttrec(cfg, num_tt_tables=7, tt=tt, min_rows=60,
+                        rng=args.seed)
+
+    injector = None
+    if args.fault_rate > 0:
+        injector = FaultInjector(seed=args.fault_seed)
+        injector.register("serving.request", args.fault_rate, kind="nan")
+        injector.register("serving.queue", args.fault_rate)
+        injector.register("serving.backend", args.fault_rate, kind="nan",
+                          max_elements=4)
+
+    if args.events_jsonl:
+        from repro.telemetry import install_sink
+
+        install_sink(args.events_jsonl)
+    try:
+        clock = ManualClock()
+        server = InferenceServer(
+            Predictor(model),
+            config=ServerConfig(
+                oov_policy=args.policy, max_depth=args.max_depth,
+                max_batch=args.max_batch,
+                default_deadline_ms=args.deadline_ms, cooldown=10,
+            ),
+            injector=injector, clock=clock,
+        )
+        report = run_load(
+            server, num_requests=args.requests,
+            mean_interarrival_ms=args.interarrival_ms,
+            deadline_ms=args.deadline_ms, malformed=args.malformed,
+            seed=args.seed, clock=clock,
+        )
+    finally:
+        if args.events_jsonl:
+            from repro.telemetry import uninstall_sink
+
+            uninstall_sink()
+
+    lat = report["latency_ms"]
+    out = report["outcomes"]
+    print(f"serve-bench: {args.requests} requests, batch<= "
+          f"{args.max_batch}, deadline {args.deadline_ms:g} ms, "
+          f"fault rate {args.fault_rate:g}, malformed {args.malformed:g}")
+    print(f"latency   : p50 {lat['p50']:.2f} ms  p99 {lat['p99']:.2f} ms  "
+          f"max {lat['max']:.2f} ms")
+    print(f"outcomes  : served {report['served']}  queued {out['queued']}  "
+          f"rejected {out['rejected']}  shed {out['shed']} "
+          f"(+{report['shed']['deadline']} at deadline)  "
+          f"shed rate {report['shed_rate']:.1%}")
+    print(f"degraded  : {report['degraded_responses']} responses via "
+          f"fallback rungs; backend failures "
+          f"{report['stats']['backend_failures']}; scrubbed rows "
+          f"{report['stats']['scrubbed_rows']}")
+    transitions = report["breaker_transitions"]
+    shown = ", ".join(f"{t['breaker']}:{t['from']}->{t['to']}"
+                      for t in transitions[:6])
+    print(f"breakers  : {len(transitions)} transitions"
+          + (f" ({shown}{', ...' if len(transitions) > 6 else ''})"
+             if transitions else ""))
+    print(f"health    : {report['health']['status']}  "
+          f"non-finite outputs {report['non_finite_outputs']}")
+
+    ok = report["non_finite_outputs"] == 0
+    recon = report["reconciliation"]
+    reconciled = recon["checked"] and args.malformed == 0
+    if reconciled:
+        ok = ok and recon["passed"]
+        print("reconcile :")
+        for name, check in recon["checks"].items():
+            print(f"  {name:28s} fired={check['fired']:<4d} "
+                  f"counted={check['counted']:<4d} "
+                  f"{'ok' if check['passed'] else 'MISMATCH'}")
+    elif recon["checked"]:
+        print("reconcile : skipped (malformed traffic mixes with injected "
+              "faults)")
+    print(f"{'PASS' if ok else 'FAIL'}: "
+          + ("zero non-finite outputs"
+             + (", ledgers reconcile" if reconciled else "")
+             if ok else "see mismatches above"))
+    if args.emit_json:
+        from repro.telemetry import write_snapshot
+
+        write_snapshot(args.emit_json, command="serve-bench",
+                       result={"report": report, "passed": ok})
+        print(f"wrote telemetry snapshot to {args.emit_json}")
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="TT-Rec reproduction toolkit"
@@ -434,6 +542,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events-jsonl", default=None, metavar="PATH",
                    help="stream telemetry events to a JSONL file")
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser("serve-bench",
+                       help="closed-loop load test of the hardened serving "
+                            "runtime (docs/SERVING.md)")
+    p.add_argument("--requests", type=int, default=1000)
+    p.add_argument("--rank", type=int, default=4)
+    p.add_argument("--scale", type=float, default=0.0005)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--policy", choices=["clamp", "hash", "reject"],
+                   default="clamp", help="out-of-vocabulary id policy")
+    p.add_argument("--max-depth", type=int, default=64,
+                   help="queue depth bound (arrivals beyond it are shed)")
+    p.add_argument("--max-batch", type=int, default=32)
+    p.add_argument("--deadline-ms", type=float, default=100.0)
+    p.add_argument("--interarrival-ms", type=float, default=1.0,
+                   help="mean simulated gap between arrivals")
+    p.add_argument("--malformed", type=float, default=0.0,
+                   help="fraction of deliberately malformed requests")
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="per-probe probability at every serving.* site")
+    p.add_argument("--fault-seed", type=int, default=123)
+    p.add_argument("--emit-json", default=None, metavar="PATH",
+                   help="write a repro.telemetry/v1 snapshot JSON")
+    p.add_argument("--events-jsonl", default=None, metavar="PATH",
+                   help="stream telemetry events to a JSONL file")
+    p.set_defaults(fn=_cmd_serve_bench)
 
     return parser
 

@@ -13,12 +13,15 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.baselines.quantization import QuantizedEmbeddingBag
 from repro.data.batching import Batch, make_offsets
 from repro.models.dlrm import DLRM
 from repro.ops.embedding import EmbeddingBag
+from repro.utils.validation import check_1d_int_array
 
 __all__ = ["Predictor", "rank_candidates"]
 
@@ -50,19 +53,71 @@ class Predictor:
 
     def __init__(self, model: DLRM, *, quantize_dense_bits: int | None = None):
         self.config = model.config
+        self.quantization_report: list[tuple[int, str, str]] = []
         if quantize_dense_bits is None:
             self._embeddings = list(model.embeddings)
         else:
             self._embeddings = [
-                QuantizedEmbeddingBag.from_dense(e.weight.data,
-                                                 bits=quantize_dense_bits)
-                if isinstance(e, EmbeddingBag) else e
-                for e in model.embeddings
+                self._maybe_quantize(t, e, quantize_dense_bits)
+                for t, e in enumerate(model.embeddings)
             ]
         # Towers and interaction are shared (read-only use).
         self._bottom = model.bottom_mlp
         self._top = model.top_mlp
         self._interaction = model.interaction
+
+    def _maybe_quantize(self, table: int, emb, bits: int):
+        """Quantize one embedding operator, or explain why it is skipped.
+
+        Every operator type is handled explicitly so a mixed model (hashed
+        or low-rank baselines alongside dense and TT tables) cannot
+        silently overstate its serving-footprint reduction: anything left
+        at full precision without a principled reason raises a
+        ``RuntimeWarning`` and shows up in ``quantization_report``.
+        """
+        from repro.baselines.hashing import HashedEmbeddingBag
+        from repro.cache.cached_embedding import CachedTTEmbeddingBag
+        from repro.tt.embedding_bag import TTEmbeddingBag
+
+        kind = type(emb).__name__
+        if isinstance(emb, EmbeddingBag):
+            self.quantization_report.append((table, kind, f"quantized@{bits}b"))
+            return QuantizedEmbeddingBag.from_dense(emb.weight.data, bits=bits,
+                                                    mode=emb.mode)
+        if isinstance(emb, HashedEmbeddingBag):
+            # The physical bucket table is a plain EmbeddingBag, but the
+            # hash + sign transform lives in the wrapper: quantizing the
+            # inner table in place would mutate the (shared) model, so the
+            # operator is kept and reported.
+            self.quantization_report.append((table, kind, "skipped"))
+            warnings.warn(
+                f"table {table}: {kind} left unquantized (its bucket table "
+                "is shared with the training model); serving footprint "
+                "includes the full-precision buckets",
+                RuntimeWarning, stacklevel=3,
+            )
+            return emb
+        if isinstance(emb, (TTEmbeddingBag, CachedTTEmbeddingBag)):
+            # TT tables are already 100x+ smaller than dense; quantizing
+            # the cores would compound approximation error for a
+            # negligible footprint win (paper §6.2).
+            self.quantization_report.append((table, kind, "tt-kept"))
+            return emb
+        if isinstance(emb, QuantizedEmbeddingBag):
+            self.quantization_report.append((table, kind, "already-quantized"))
+            return emb
+        self.quantization_report.append((table, kind, "skipped"))
+        warnings.warn(
+            f"table {table}: no quantization rule for {kind}; operator kept "
+            "at full precision (serving footprint may be overstated)",
+            RuntimeWarning, stacklevel=3,
+        )
+        return emb
+
+    @property
+    def embeddings(self) -> list:
+        """The serving-side embedding operators (read-only list copy)."""
+        return list(self._embeddings)
 
     def serving_parameters(self) -> int:
         """fp32-equivalent parameter count of the serving model."""
@@ -73,11 +128,22 @@ class Predictor:
     def predict_logits(self, dense: np.ndarray,
                        sparse: list[tuple[np.ndarray, np.ndarray]]) -> np.ndarray:
         dense = np.asarray(dense, dtype=np.float64)
-        x = self._bottom.forward(dense)
         pooled = [
             emb.forward(indices, offsets)
             for emb, (indices, offsets) in zip(self._embeddings, sparse)
         ]
+        return self.logits_from_pooled(dense, pooled)
+
+    def logits_from_pooled(self, dense: np.ndarray,
+                           pooled: list[np.ndarray]) -> np.ndarray:
+        """Towers + interaction over already-pooled embedding vectors.
+
+        The hook :class:`repro.serving.InferenceServer` uses to run the
+        embedding stage itself (so it can degrade per-table backends)
+        while sharing the exact tower math with :meth:`predict_logits`.
+        """
+        dense = np.asarray(dense, dtype=np.float64)
+        x = self._bottom.forward(dense)
         z = self._interaction.forward(x, pooled)
         return self._top.forward(z).reshape(-1)
 
@@ -114,7 +180,7 @@ def rank_candidates(predictor: Predictor, *, user_dense: np.ndarray,
     -------
     ``(top_ids, top_probs)`` sorted by descending probability.
     """
-    candidate_ids = np.asarray(candidate_ids, dtype=np.int64).reshape(-1)
+    candidate_ids = np.asarray(candidate_ids).reshape(-1)
     n = candidate_ids.size
     if n == 0:
         raise ValueError("no candidates to rank")
@@ -125,9 +191,26 @@ def rank_candidates(predictor: Predictor, *, user_dense: np.ndarray,
         raise ValueError(
             f"user_sparse must have {cfg.num_tables} entries, got {len(user_sparse)}"
         )
-    dense = np.broadcast_to(
-        np.asarray(user_dense, dtype=np.float64), (n, cfg.num_dense)
-    ).copy()
+    # A bad id must error here, not score garbage: every id is checked
+    # against its table's cardinality before any table is touched.
+    candidate_ids = check_1d_int_array(
+        "candidate_ids", candidate_ids,
+        min_value=0, max_value=cfg.table_sizes[candidate_table] - 1,
+    )
+    for t, value in enumerate(user_sparse):
+        if t == candidate_table or value is None:
+            continue
+        if not (0 <= int(value) < cfg.table_sizes[t]):
+            raise IndexError(
+                f"user_sparse[{t}] = {value} out of range for table of "
+                f"{cfg.table_sizes[t]} rows"
+            )
+    user_dense = np.asarray(user_dense, dtype=np.float64).reshape(-1)
+    if user_dense.shape[0] != cfg.num_dense:
+        raise ValueError(
+            f"user_dense must have {cfg.num_dense} features, got {user_dense.shape[0]}"
+        )
+    dense = np.broadcast_to(user_dense, (n, cfg.num_dense)).copy()
     sparse = []
     ones = np.ones(n, dtype=np.int64)
     for t in range(cfg.num_tables):

@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.ops.module import Module, Parameter
 from repro.utils.seeding import as_rng
-from repro.utils.validation import check_csr
+from repro.utils.validation import check_1d_int_array, check_csr
 
 __all__ = ["EmbeddingBag", "segment_sum"]
 
@@ -110,5 +110,17 @@ class EmbeddingBag(Module):
     __call__ = forward
 
     def lookup(self, indices: np.ndarray) -> np.ndarray:
-        """Plain (non-pooled) row gather; used by caches and tests."""
-        return self.weight.data[np.asarray(indices, dtype=np.int64)]
+        """Plain (non-pooled) row gather; used by caches and tests.
+
+        Indices are validated against ``num_rows`` — a negative or
+        out-of-range index raises :class:`IndexOutOfRangeError` instead of
+        silently wrapping around through NumPy fancy indexing. Callers that
+        want clamp-or-hash semantics for out-of-vocabulary ids must go
+        through :class:`repro.serving.RequestSanitizer`; the table itself
+        never guesses.
+        """
+        indices = check_1d_int_array(
+            "indices", np.asarray(indices).reshape(-1),
+            min_value=0, max_value=self.num_rows - 1,
+        )
+        return self.weight.data[indices]

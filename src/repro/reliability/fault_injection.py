@@ -17,6 +17,9 @@ Instrumented sites
 ``collective.drop``         a worker silently drops out of one collective
 ``collective.straggler``    a worker is slow (counted, never actually slept)
 ``cache.row``               one uncompressed cached embedding row is poisoned
+``serving.request``         an inbound request's dense payload is corrupted
+``serving.queue``           a queued request is lost (shed as a queue fault)
+``serving.backend``         an embedding backend's pooled output is poisoned
 ==========================  ====================================================
 
 Sites are just strings: components probe unconditionally and unregistered
@@ -41,6 +44,9 @@ KNOWN_SITES = (
     "collective.drop",
     "collective.straggler",
     "cache.row",
+    "serving.request",
+    "serving.queue",
+    "serving.backend",
 )
 
 _KINDS = ("nan", "inf", "zero", "scale", "bitflip")

@@ -1,0 +1,428 @@
+"""The hardened inference runtime: admission → queue → degradation ladder.
+
+:class:`InferenceServer` wraps a frozen :class:`repro.inference.Predictor`
+with the three defensive layers docs/SERVING.md describes:
+
+1. **Admission** (:class:`~repro.serving.admission.RequestSanitizer`) —
+   malformed requests are repaired or rejected before touching the model.
+2. **Deadline-aware micro-batching**
+   (:class:`~repro.serving.queue.MicroBatchQueue`) — overload sheds
+   requests instead of growing latency without bound.
+3. **Degradation ladder** — per-table embedding backends behind circuit
+   breakers: the cached hybrid operator first, the direct TT contraction
+   when the cache is poisoned or broken, and finally a frequency-prior
+   default row that cannot fail. A rung *fails* when it raises, returns
+   non-finite values, or returns implausibly large magnitudes (the
+   ``scale``-fault signature); failures trip the rung's breaker and, when
+   the backend exposes the PR-1 ``scrub()`` hook, trigger a repair so the
+   rung can recover. The server therefore keeps answering — at reduced
+   fidelity — no matter which backend is poisoned.
+
+Chaos-testable by construction: a
+:class:`~repro.reliability.fault_injection.FaultInjector` is probed at
+``serving.request`` (corrupt inbound payload), ``serving.queue`` (lost
+queue entry) and ``serving.backend`` (poisoned backend output), and every
+defensive action is counted in the shared metrics registry so
+``repro serve-bench`` can reconcile them against the injector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter_ns
+
+import numpy as np
+
+from repro.data.batching import make_offsets
+from repro.inference.predictor import Predictor, _sigmoid
+from repro.serving.admission import Rejection, Request, RequestSanitizer
+from repro.serving.breaker import CircuitBreaker
+from repro.serving.queue import MicroBatchQueue, monotonic_ms
+from repro.telemetry import emit_event, get_registry, trace
+
+__all__ = ["ServerConfig", "InferenceServer", "Rung", "TableLadder"]
+
+# A pooled embedding magnitude beyond this is treated as corruption even
+# though it is finite (catches "scale"-kind faults before the towers
+# launder them into a confident wrong answer).
+MAGNITUDE_LIMIT = 1e15
+
+# Rows sampled for a default-row prior when no frequency tracker exists.
+_PRIOR_SAMPLE_ROWS = 256
+# Hot rows averaged when a frequency tracker is available.
+_PRIOR_HOT_ROWS = 64
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tuning knobs for the serving runtime (docs/SERVING.md)."""
+
+    oov_policy: str = "clamp"
+    max_depth: int = 64
+    max_batch: int = 32
+    default_deadline_ms: float = 50.0
+    high_watermark: float = 0.8
+    failure_threshold: int = 3
+    breaker_window: int = 20
+    cooldown: int = 25
+    half_open_successes: int = 2
+
+
+class Rung:
+    """One ladder level: a named backend call guarded by a breaker."""
+
+    def __init__(self, name: str, compute, breaker: CircuitBreaker):
+        self.name = name
+        self.compute = compute  # (indices, offsets) -> (bags, dim) pooled
+        self.breaker = breaker
+
+
+class TableLadder:
+    """Degradation ladder for one embedding table.
+
+    ``serve`` walks the rungs top-down, skipping open breakers, validating
+    every output, and falling through to the default row — which is a
+    constant held by the server and therefore cannot fail.
+    """
+
+    def __init__(self, table: int, rungs: list[Rung], default_row: np.ndarray,
+                 mode: str, scrub=None, injector=None):
+        self.table = table
+        self.rungs = rungs
+        self.default_row = default_row
+        self.mode = mode
+        self.scrub = scrub
+        self.injector = injector
+        reg = get_registry()
+        self._fallback = {
+            rung.name: reg.counter("serving.fallback",
+                                   table=str(table), rung=rung.name)
+            for rung in rungs[1:]
+        }
+        self._fallback["default_row"] = reg.counter(
+            "serving.fallback", table=str(table), rung="default_row"
+        )
+        self._failures = reg.counter("serving.backend_failures",
+                                     table=str(table))
+        self._scrubs = reg.counter("serving.scrubs", table=str(table))
+
+    # ------------------------------------------------------------------ #
+
+    def _default_pooled(self, counts: np.ndarray) -> np.ndarray:
+        pooled = np.tile(self.default_row, (counts.size, 1))
+        if self.mode == "sum":
+            pooled = pooled * counts[:, None]
+        return pooled
+
+    @staticmethod
+    def _valid(pooled: np.ndarray) -> bool:
+        return bool(np.isfinite(pooled).all()
+                    and np.abs(pooled).max(initial=0.0) < MAGNITUDE_LIMIT)
+
+    def serve(self, indices: np.ndarray,
+              offsets: np.ndarray) -> tuple[np.ndarray, str]:
+        """Pool one table's bags; returns ``(pooled, rung_name)``."""
+        for level, rung in enumerate(self.rungs):
+            if not rung.breaker.allow():
+                continue
+            try:
+                with trace("serving.pooled", table=str(self.table),
+                           rung=rung.name):
+                    pooled = np.asarray(rung.compute(indices, offsets),
+                                        dtype=np.float64)
+            except Exception as exc:  # noqa: BLE001 - the ladder IS the handler
+                self._record_failure(rung, repr(exc))
+                continue
+            if self.injector is not None:
+                self.injector.corrupt("serving.backend", pooled)
+            if not self._valid(pooled):
+                self._record_failure(rung, "non-finite or implausible output")
+                continue
+            rung.breaker.record_success()
+            if level > 0:
+                self._fallback[rung.name].inc()
+            return pooled, rung.name
+        counts = np.diff(offsets)
+        self._fallback["default_row"].inc()
+        return self._default_pooled(counts), "default_row"
+
+    def _record_failure(self, rung: Rung, detail: str) -> None:
+        rung.breaker.record_failure()
+        self._failures.inc()
+        emit_event("serving.backend_failure", table=self.table,
+                   rung=rung.name, detail=detail,
+                   breaker_state=rung.breaker.state)
+        if self.scrub is not None:
+            repaired = self.scrub()
+            if repaired:
+                self._scrubs.inc(int(repaired))
+
+    # ------------------------------------------------------------------ #
+
+    def breakers(self) -> list[CircuitBreaker]:
+        return [rung.breaker for rung in self.rungs]
+
+    def fallback_counts(self) -> dict[str, int]:
+        return {name: c.value for name, c in self._fallback.items()}
+
+    @property
+    def backend_failures(self) -> int:
+        return self._failures.value
+
+    @property
+    def scrubbed_rows(self) -> int:
+        return self._scrubs.value
+
+
+def _frequency_prior_row(emb, dim: int) -> np.ndarray:
+    """Default row for one table: a frequency-weighted mean embedding.
+
+    With a :class:`~repro.cache.lfu.LFUTracker` attached (the cached TT
+    operator), the prior is the access-count-weighted average of the hot
+    rows — the best constant guess for a random future lookup under the
+    observed Zipf traffic. Without one, it is the plain mean of a row
+    sample. Always finite: non-finite inputs are zeroed before averaging.
+    """
+    tracker = getattr(emb, "tracker", None)
+    num_rows = emb.num_rows
+    ids = None
+    weights = None
+    if tracker is not None:
+        hot = np.asarray(tracker.top_k(_PRIOR_HOT_ROWS), dtype=np.int64)
+        if hot.size:
+            ids = hot
+            weights = np.maximum(np.asarray(tracker.count(hot),
+                                            dtype=np.float64), 1.0)
+    if ids is None:
+        ids = np.arange(min(_PRIOR_SAMPLE_ROWS, num_rows), dtype=np.int64)
+        weights = np.ones(ids.size)
+    # lookup() materialises rows without touching trackers or backward
+    # caches; operators lacking it fall back to single-index-bag forward.
+    lookup = getattr(emb, "lookup", None)
+    if lookup is not None:
+        rows = lookup(ids)
+    else:
+        rows = emb.forward(ids, np.arange(ids.size + 1, dtype=np.int64))
+    rows = np.nan_to_num(rows, nan=0.0, posinf=0.0, neginf=0.0)
+    row = (rows * weights[:, None]).sum(axis=0) / weights.sum()
+    if not np.isfinite(row).all():  # pragma: no cover - belt and braces
+        row = np.zeros(dim)
+    return row
+
+
+class InferenceServer:
+    """Robust serving runtime in front of a :class:`Predictor`.
+
+    Parameters
+    ----------
+    predictor:
+        The frozen model to serve.
+    config:
+        :class:`ServerConfig` tuning knobs.
+    injector:
+        Optional fault injector; register any of ``serving.request``,
+        ``serving.queue``, ``serving.backend`` to chaos-test the ladder.
+    clock:
+        Monotonic-millisecond callable (defaults to wall time; tests and
+        ``serve-bench`` pass a :class:`~repro.serving.queue.ManualClock`).
+    """
+
+    def __init__(self, predictor: Predictor, *,
+                 config: ServerConfig = ServerConfig(),
+                 injector=None, clock=None):
+        self.predictor = predictor
+        self.config = config
+        self.injector = injector
+        self.clock = clock if clock is not None else monotonic_ms
+        self.sanitizer = RequestSanitizer(predictor.config,
+                                          oov_policy=config.oov_policy)
+        self.queue = MicroBatchQueue(
+            max_depth=config.max_depth, max_batch=config.max_batch,
+            default_deadline_ms=config.default_deadline_ms,
+            high_watermark=config.high_watermark,
+            clock=self.clock, injector=injector,
+        )
+        self.ladders = [
+            self._build_ladder(t, emb)
+            for t, emb in enumerate(predictor.embeddings)
+        ]
+        reg = get_registry()
+        self._requests = reg.counter("serving.requests")
+        self._served = reg.counter("serving.served")
+        self._batches = reg.counter("serving.batches")
+        self._final_guard = reg.counter("serving.final_guard")
+        self._latency = reg.histogram(
+            "serving.latency_ms",
+            bounds=(0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+                    500.0, 1000.0),
+        )
+        self._ready = all(np.isfinite(lad.default_row).all()
+                          for lad in self.ladders)
+
+    # ------------------------------------------------------------------ #
+    # Ladder construction
+    # ------------------------------------------------------------------ #
+
+    def _breaker(self, table: int, rung: str) -> CircuitBreaker:
+        cfg = self.config
+        return CircuitBreaker(
+            f"t{table}.{rung}",
+            failure_threshold=cfg.failure_threshold,
+            window=cfg.breaker_window, cooldown=cfg.cooldown,
+            half_open_successes=cfg.half_open_successes,
+        )
+
+    def _build_ladder(self, table: int, emb) -> TableLadder:
+        rungs = [Rung("primary", emb.forward, self._breaker(table, "primary"))]
+        tt = getattr(emb, "tt", None)
+        if tt is not None:
+            # The cached operator's escape hatch: contract the TT cores
+            # directly, bypassing a poisoned uncompressed cache.
+            rungs.append(Rung("tt_direct", tt.forward,
+                              self._breaker(table, "tt_direct")))
+        mode = getattr(emb, "mode", "sum")
+        default_row = _frequency_prior_row(emb, self.predictor.config.emb_dim)
+        return TableLadder(table, rungs, default_row, mode,
+                           scrub=getattr(emb, "scrub", None),
+                           injector=self.injector)
+
+    # ------------------------------------------------------------------ #
+    # Request path
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: Request) -> dict:
+        """Admit one request; returns a status document.
+
+        ``{"status": "queued" | "rejected" | "shed", ...}`` — a rejected
+        request names its (counted) reason; a shed one names the shed
+        class. Backpressure is surfaced as ``"backpressure": True`` so
+        closed-loop clients can slow down.
+        """
+        self._requests.inc()
+        if self.injector is not None:
+            spec = self.injector.draw("serving.request")
+            if spec is not None:
+                dense = np.array(request.dense, dtype=np.float64, copy=True)
+                self.injector.apply(spec, dense)
+                request = Request(dense=dense, sparse=request.sparse,
+                                  deadline_ms=request.deadline_ms,
+                                  request_id=request.request_id)
+        with trace("serving.admission"):
+            admitted = self.sanitizer.sanitize(request)
+        if isinstance(admitted, Rejection):
+            return {"status": "rejected", "reason": admitted.reason,
+                    "detail": admitted.detail,
+                    "request_id": admitted.request_id}
+        outcome = self.queue.submit(admitted)
+        if outcome != "queued":
+            return {"status": "shed", "reason": outcome.removeprefix("shed_"),
+                    "request_id": admitted.request_id}
+        return {"status": "queued", "request_id": admitted.request_id,
+                "repairs": list(admitted.repairs),
+                "backpressure": self.queue.should_backpressure()}
+
+    def step(self) -> list[dict]:
+        """Serve one micro-batch from the queue; returns the responses."""
+        batch = self.queue.next_batch()
+        if not batch:
+            return []
+        formed_at = self.clock()
+        start_ns = perf_counter_ns()
+        with trace("serving.batch"):
+            dense = np.stack([r.dense for r in batch])
+            pooled = []
+            served_by: dict[int, str] = {}
+            for t, ladder in enumerate(self.ladders):
+                counts = np.array([r.values[t].size for r in batch],
+                                  dtype=np.int64)
+                indices = (np.concatenate([r.values[t] for r in batch])
+                           if counts.sum() else np.empty(0, dtype=np.int64))
+                vecs, rung = ladder.serve(indices, make_offsets(counts))
+                pooled.append(vecs)
+                if rung != "primary":
+                    served_by[t] = rung
+            with trace("serving.towers"):
+                probs = _sigmoid(
+                    self.predictor.logits_from_pooled(dense, pooled)
+                )
+        bad = ~np.isfinite(probs)
+        if bad.any():  # the last line of defence; should be unreachable
+            self._final_guard.inc(int(bad.sum()))
+            emit_event("serving.final_guard", count=int(bad.sum()))
+            probs = np.where(bad, 0.5, probs)
+        service_ms = (perf_counter_ns() - start_ns) / 1e6
+        self.queue.observe_service(service_ms)
+        self._batches.inc()
+        self._served.inc(len(batch))
+        responses = []
+        for req, prob in zip(batch, probs):
+            latency = (formed_at - req.arrival_ms) + service_ms
+            self._latency.observe(latency)
+            responses.append({
+                "request_id": req.request_id,
+                "prob": float(prob),
+                "latency_ms": latency,
+                "degraded": bool(served_by),
+                "served_by": dict(served_by),
+                "repairs": list(req.repairs),
+            })
+        return responses
+
+    def drain(self) -> list[dict]:
+        """Serve micro-batches until the queue is empty."""
+        responses = []
+        while self.queue.depth:
+            responses.extend(self.step())
+        return responses
+
+    # ------------------------------------------------------------------ #
+    # Probes & stats
+    # ------------------------------------------------------------------ #
+
+    def breaker_snapshots(self) -> list[dict]:
+        return [b.snapshot() for lad in self.ladders for b in lad.breakers()]
+
+    def breaker_transitions(self) -> list[dict]:
+        return [
+            {"breaker": b.name, "from": a, "to": c}
+            for lad in self.ladders for b in lad.breakers()
+            for a, c in b.transitions
+        ]
+
+    def healthz(self) -> dict:
+        """Liveness/condition probe: is the server answering, and how well?"""
+        open_breakers = [
+            b.name for lad in self.ladders for b in lad.breakers()
+            if b.state != "closed"
+        ]
+        return {
+            "status": "degraded" if open_breakers else "ok",
+            "open_breakers": open_breakers,
+            "queue_depth": self.queue.depth,
+            "expected_service_ms": self.queue.expected_service_ms,
+            "shed": self.queue.shed_counts(),
+        }
+
+    def readyz(self) -> dict:
+        """Readiness probe: safe to route traffic here?"""
+        return {"ready": bool(self._ready and self.ladders)}
+
+    def stats(self) -> dict:
+        """Every serving counter, reconciliation-ready (serve-bench)."""
+        lat = self._latency
+        return {
+            "requests": self._requests.value,
+            "served": self._served.value,
+            "batches": self._batches.value,
+            "admission": self.sanitizer.stats(),
+            "shed": self.queue.shed_counts(),
+            "fallbacks": {
+                str(lad.table): lad.fallback_counts() for lad in self.ladders
+            },
+            "backend_failures": sum(lad.backend_failures
+                                    for lad in self.ladders),
+            "scrubbed_rows": sum(lad.scrubbed_rows for lad in self.ladders),
+            "final_guard": self._final_guard.value,
+            "breaker_transitions": self.breaker_transitions(),
+            "latency_ms": lat.summary(),
+        }

@@ -9,11 +9,21 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
+    "IndexOutOfRangeError",
     "check_positive",
     "check_probability",
     "check_1d_int_array",
     "check_csr",
 ]
+
+
+class IndexOutOfRangeError(IndexError, ValueError):
+    """An index array addressed a row outside ``[0, num_rows)``.
+
+    Subclasses both ``IndexError`` (the semantically right category — a bad
+    lookup address) and ``ValueError`` (what these helpers historically
+    raised), so existing ``except ValueError`` callers keep working.
+    """
 
 
 def check_positive(name: str, value: float, *, strict: bool = True) -> None:
@@ -44,9 +54,13 @@ def check_1d_int_array(name: str, arr: np.ndarray, *, min_value: int | None = No
     arr = arr.astype(np.int64, copy=False)
     if arr.size:
         if min_value is not None and arr.min() < min_value:
-            raise ValueError(f"{name} contains values below {min_value}: min={arr.min()}")
+            raise IndexOutOfRangeError(
+                f"{name} contains values below {min_value}: min={arr.min()}"
+            )
         if max_value is not None and arr.max() > max_value:
-            raise ValueError(f"{name} contains values above {max_value}: max={arr.max()}")
+            raise IndexOutOfRangeError(
+                f"{name} contains values above {max_value}: max={arr.max()}"
+            )
     return arr
 
 

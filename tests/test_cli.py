@@ -141,3 +141,37 @@ class TestCommands:
         assert doc["command"] == "chaos"
         assert doc["result"]["passed"] is True
         assert "injector" in doc["result"]
+
+    def test_serve_bench_smoke(self, capsys):
+        assert main(["serve-bench", "--requests", "120",
+                     "--scale", "0.0003"]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out and "p99" in out
+        assert "PASS" in out
+
+    def test_serve_bench_chaos_emit_json(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import read_events, validate_snapshot
+
+        snap = tmp_path / "serve.json"
+        events = tmp_path / "serve_events.jsonl"
+        assert main(["serve-bench", "--requests", "250",
+                     "--scale", "0.0003", "--fault-rate", "0.05",
+                     "--emit-json", str(snap),
+                     "--events-jsonl", str(events)]) == 0
+        doc = json.loads(snap.read_text())
+        validate_snapshot(doc)
+        assert doc["command"] == "serve-bench"
+        assert doc["result"]["passed"] is True
+        report = doc["result"]["report"]
+        assert report["non_finite_outputs"] == 0
+        assert report["reconciliation"]["passed"] is True
+        assert report["injector"]  # all three serving.* sites registered
+        assert read_events(events, event_type="fault.fired")
+
+    def test_serve_bench_rejects_malformed_without_crashing(self, capsys):
+        assert main(["serve-bench", "--requests", "120",
+                     "--scale", "0.0003", "--malformed", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "rejected" in out

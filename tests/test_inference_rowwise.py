@@ -123,6 +123,114 @@ class TestRankCandidates:
                             user_sparse=[0] * CFG.num_tables,
                             candidate_table=99, candidate_ids=np.arange(3))
 
+    def test_out_of_range_candidate_ids_raise(self, trained):
+        model, _ = trained
+        pred = Predictor(model)
+        with pytest.raises(IndexError):
+            rank_candidates(pred, user_dense=np.zeros(13),
+                            user_sparse=[0] * CFG.num_tables,
+                            candidate_table=0,
+                            candidate_ids=np.array([0, CFG.table_sizes[0]]))
+        with pytest.raises(IndexError):
+            rank_candidates(pred, user_dense=np.zeros(13),
+                            user_sparse=[0] * CFG.num_tables,
+                            candidate_table=0,
+                            candidate_ids=np.array([-1]))
+
+    def test_float_candidate_ids_rejected_not_truncated(self, trained):
+        """Float ids used to be silently truncated to int; now they error."""
+        model, _ = trained
+        pred = Predictor(model)
+        with pytest.raises(TypeError):
+            rank_candidates(pred, user_dense=np.zeros(13),
+                            user_sparse=[0] * CFG.num_tables,
+                            candidate_table=0,
+                            candidate_ids=np.array([0.5, 1.7]))
+
+    def test_out_of_range_user_sparse_raises(self, trained):
+        model, _ = trained
+        pred = Predictor(model)
+        user_sparse = [0] * CFG.num_tables
+        t = 1 if 1 != SPEC.largest(1)[0] else 2
+        user_sparse[t] = CFG.table_sizes[t]  # one past the end
+        with pytest.raises(IndexError):
+            rank_candidates(pred, user_dense=np.zeros(13),
+                            user_sparse=user_sparse,
+                            candidate_table=SPEC.largest(1)[0],
+                            candidate_ids=np.arange(3))
+
+    def test_wrong_dense_width_raises(self, trained):
+        model, _ = trained
+        pred = Predictor(model)
+        with pytest.raises(ValueError):
+            rank_candidates(pred, user_dense=np.zeros(5),
+                            user_sparse=[0] * CFG.num_tables,
+                            candidate_table=0, candidate_ids=np.arange(3))
+
+
+class TestQuantizationReport:
+    def test_every_table_reported(self, trained):
+        model, _ = trained
+        pred = Predictor(model, quantize_dense_bits=8)
+        assert len(pred.quantization_report) == CFG.num_tables
+        actions = {a for _, _, a in pred.quantization_report}
+        assert "quantized@8b" in actions
+        assert "tt-kept" in actions
+
+    def test_hashed_table_warns_and_is_kept(self, trained):
+        from repro.baselines import HashedEmbeddingBag
+
+        model, _ = trained
+        t = SPEC.largest(1)[0]
+        original = model.embeddings[t]
+        model.embeddings[t] = HashedEmbeddingBag(
+            CFG.table_sizes[t], CFG.emb_dim, max(2, CFG.table_sizes[t] // 4),
+            rng=0,
+        )
+        try:
+            with pytest.warns(RuntimeWarning, match="bucket table"):
+                pred = Predictor(model, quantize_dense_bits=8)
+        finally:
+            model.embeddings[t] = original
+        report = dict((tab, action)
+                      for tab, _, action in pred.quantization_report)
+        assert report[t] == "skipped"
+        assert isinstance(pred.embeddings[t], HashedEmbeddingBag)
+
+    def test_unknown_operator_warns_and_is_kept(self, trained):
+        from repro.baselines import LowRankEmbeddingBag
+
+        model, _ = trained
+        t = SPEC.largest(1)[0]
+        original = model.embeddings[t]
+        model.embeddings[t] = LowRankEmbeddingBag(
+            CFG.table_sizes[t], CFG.emb_dim, rank=2, rng=0
+        )
+        try:
+            with pytest.warns(RuntimeWarning, match="no quantization rule"):
+                pred = Predictor(model, quantize_dense_bits=8)
+        finally:
+            model.embeddings[t] = original
+        report = dict((tab, action)
+                      for tab, _, action in pred.quantization_report)
+        assert report[t] == "skipped"
+
+    def test_double_quantization_reported(self, trained):
+        model, _ = trained
+        pred8 = Predictor(model, quantize_dense_bits=8)
+
+        class _Frozen:  # minimal DLRM-shaped shell around quantized tables
+            config = model.config
+            embeddings = pred8.embeddings
+            bottom_mlp = model.bottom_mlp
+            top_mlp = model.top_mlp
+            interaction = model.interaction
+
+        pred = Predictor(_Frozen(), quantize_dense_bits=4)
+        actions = {a for _, _, a in pred.quantization_report}
+        assert "already-quantized" in actions
+        assert "quantized@4b" not in actions
+
 
 class TestRowWiseAdagrad:
     def test_one_accumulator_per_row(self):

@@ -79,6 +79,34 @@ class TestEmbeddingBag:
         with pytest.raises(ValueError):
             emb.forward(np.array([10]), np.array([0, 1]))
 
+    def test_out_of_range_is_index_error(self):
+        """An out-of-range id raises IndexError (it is also a ValueError
+        for backward compatibility) instead of NumPy silently wrapping
+        negative indices to the end of the table."""
+        emb = EmbeddingBag(10, 4, rng=0)
+        with pytest.raises(IndexError):
+            emb.forward(np.array([10]), np.array([0, 1]))
+        with pytest.raises(IndexError):
+            emb.forward(np.array([-1]), np.array([0, 1]))
+
+    def test_negative_index_does_not_wrap(self):
+        emb = EmbeddingBag(10, 4, rng=0)
+        # Before validation, -1 would silently pool row 9.
+        with pytest.raises(IndexError):
+            emb.forward(np.array([1, -1]), np.array([0, 2]))
+
+    def test_lookup_validates_range(self):
+        emb = EmbeddingBag(10, 4, rng=0)
+        with pytest.raises(IndexError):
+            emb.lookup(np.array([10]))
+        with pytest.raises(IndexError):
+            emb.lookup(np.array([-3]))
+
+    def test_lookup_rejects_float_ids(self):
+        emb = EmbeddingBag(10, 4, rng=0)
+        with pytest.raises(TypeError):
+            emb.lookup(np.array([1.5, 2.0]))
+
     def test_weight_mismatch_rejected(self):
         emb = EmbeddingBag(10, 4, rng=0)
         with pytest.raises(ValueError):

@@ -86,6 +86,22 @@ class TestCheck1DIntArray:
         out = check_1d_int_array("a", np.array([], dtype=np.int64), min_value=0)
         assert out.size == 0
 
+    def test_range_violation_is_index_and_value_error(self):
+        """Range errors raise IndexOutOfRangeError, which is an IndexError
+        for new callers and still a ValueError for existing ones."""
+        from repro.utils.validation import IndexOutOfRangeError
+
+        assert issubclass(IndexOutOfRangeError, IndexError)
+        assert issubclass(IndexOutOfRangeError, ValueError)
+        with pytest.raises(IndexError):
+            check_1d_int_array("a", np.array([-1]), min_value=0)
+        with pytest.raises(IndexError):
+            check_1d_int_array("a", np.array([6]), max_value=5)
+        # Non-range failures stay plain ValueError/TypeError.
+        with pytest.raises(ValueError) as excinfo:
+            check_1d_int_array("a", np.zeros((2, 2), dtype=np.int64))
+        assert not isinstance(excinfo.value, IndexError)
+
 
 class TestCheckCSR:
     def test_valid(self):
