@@ -1,0 +1,197 @@
+"""Shared framework for the ``repro lint`` AST rules.
+
+Every rule is a :class:`Rule` subclass registered with :func:`register`;
+the runner parses each file once into a :class:`FileContext` (source, AST,
+import bindings, ``noqa`` map) and hands it to every selected rule. Rules
+emit :class:`Finding` records; suppression (``# repro: noqa`` or
+``# repro: noqa[RULE1,RULE2]``) is applied centrally so individual rules
+never need to think about it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "dotted_name",
+]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*\[(?P<rules>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def key(self) -> str:
+        """Stable identity used for baselines and deduplication."""
+        return f"{self.path}:{self.line}:{self.rule}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class FileContext:
+    """Parsed view of one source file shared by every rule.
+
+    Attributes
+    ----------
+    path : str
+        POSIX-style path as reported in findings.
+    source : str
+        Raw file text.
+    tree : ast.Module
+        Parsed AST (``None`` never — a syntax error aborts construction).
+    bindings : dict[str, str]
+        Local name -> dotted origin for module-level and function-level
+        imports: ``import numpy as np`` yields ``{"np": "numpy"}``;
+        ``from datetime import datetime as dt`` yields
+        ``{"dt": "datetime.datetime"}``.
+    noqa : dict[int, set[str] | None]
+        Line -> suppressed rule ids; ``None`` means "all rules".
+    """
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.bindings = _collect_bindings(self.tree)
+        self.noqa = _collect_noqa(source)
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Full dotted name of a Name/Attribute chain, imports resolved.
+
+        ``np.random.standard_normal`` resolves to
+        ``numpy.random.standard_normal`` when ``np`` is bound to ``numpy``;
+        chains rooted in anything other than a plain name (calls,
+        subscripts) resolve to ``None``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.bindings.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        if line not in self.noqa:
+            return False
+        rules = self.noqa[line]
+        return rules is None or rule.upper() in rules
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Literal dotted name of a Name/Attribute chain (no import resolution)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _collect_bindings(tree: ast.Module) -> dict[str, str]:
+    bindings: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bindings[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname:
+                    bindings[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports never hit the banned namespaces
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bindings[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return bindings
+
+
+def _collect_noqa(source: str) -> dict[int, set[str] | None]:
+    noqa: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if not m:
+            continue
+        rules = m.group("rules")
+        if rules is None:
+            noqa[lineno] = None
+        else:
+            ids = {r.strip().upper() for r in rules.split(",") if r.strip()}
+            noqa[lineno] = ids or None
+    return noqa
+
+
+@dataclass
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`id`/:attr:`summary` as class attributes and
+    implement :meth:`check`, returning findings for one file. The runner
+    filters suppressed lines afterwards, so ``check`` reports everything
+    it sees.
+    """
+
+    id = "RULE000"
+    summary = ""
+
+    config: dict = field(default_factory=dict)
+
+    def check(self, ctx: FileContext) -> list[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    """Registered rules by id (import side effect of the rules module)."""
+    from repro.analysis.static import rules as _rules  # noqa: F401
+
+    return dict(_REGISTRY)

@@ -1,0 +1,228 @@
+"""Driver for ``repro lint``: config, file walking, baselines, formatting.
+
+Configuration lives under ``[tool.repro.lint]`` in ``pyproject.toml``
+(parsed with :mod:`tomllib` when available — Python 3.11+ — and falling
+back to built-in defaults otherwise, so the linter works on 3.10 CI
+runners too). A baseline file (``--baseline``) holds ``path:line:RULE``
+keys for grandfathered findings; the repo itself ships none — ``repro
+lint src/`` must exit 0 with an empty baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.static.core import FileContext, Finding, all_rules
+
+__all__ = [
+    "LintConfig",
+    "LintReport",
+    "lint_paths",
+    "load_config",
+    "format_text",
+    "format_json",
+]
+
+SCHEMA = "repro.lint/v1"
+
+_DEFAULT_CONFIG = {
+    "hot_path": ["repro/tt", "repro/ops", "repro/cache"],
+    "rng_allowed": ["repro/utils/seeding.py"],
+    "clock_exempt": ["repro/bench"],
+    "mutation_scope": ["repro/tt/kernels.py", "repro/cache"],
+    "exclude": ["__pycache__", ".git", "build", "dist", ".eggs"],
+}
+
+
+@dataclass
+class LintConfig:
+    """Resolved lint configuration (defaults overlaid with pyproject)."""
+
+    hot_path: list[str] = field(default_factory=lambda: list(_DEFAULT_CONFIG["hot_path"]))
+    rng_allowed: list[str] = field(default_factory=lambda: list(_DEFAULT_CONFIG["rng_allowed"]))
+    clock_exempt: list[str] = field(default_factory=lambda: list(_DEFAULT_CONFIG["clock_exempt"]))
+    mutation_scope: list[str] = field(default_factory=lambda: list(_DEFAULT_CONFIG["mutation_scope"]))
+    exclude: list[str] = field(default_factory=lambda: list(_DEFAULT_CONFIG["exclude"]))
+    select: list[str] = field(default_factory=list)
+    ignore: list[str] = field(default_factory=list)
+
+    def as_rule_config(self) -> dict:
+        return {
+            "hot_path": self.hot_path,
+            "rng_allowed": self.rng_allowed,
+            "clock_exempt": self.clock_exempt,
+            "mutation_scope": self.mutation_scope,
+        }
+
+
+def load_config(pyproject: str | Path | None = None) -> LintConfig:
+    """Read ``[tool.repro.lint]``; missing file/section/parser -> defaults.
+
+    TOML keys use dashes (``hot-path``); they map onto the underscored
+    dataclass fields.
+    """
+    cfg = LintConfig()
+    if pyproject is None:
+        pyproject = _find_pyproject()
+    if pyproject is None:
+        return cfg
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11
+        return cfg
+    path = Path(pyproject)
+    if not path.is_file():
+        return cfg
+    try:
+        data = tomllib.loads(path.read_text(encoding="utf-8"))
+    except tomllib.TOMLDecodeError:
+        return cfg
+    section = data.get("tool", {}).get("repro", {}).get("lint", {})
+    for key, value in section.items():
+        attr = key.replace("-", "_")
+        if hasattr(cfg, attr) and isinstance(value, list):
+            setattr(cfg, attr, [str(v) for v in value])
+    return cfg
+
+
+def _find_pyproject() -> Path | None:
+    for parent in [Path.cwd(), *Path.cwd().parents]:
+        candidate = parent / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+@dataclass
+class LintReport:
+    """Findings plus the bookkeeping the CLI needs for exit codes."""
+
+    findings: list[Finding]
+    files_checked: int
+    suppressed: int
+    baselined: int
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+
+def _iter_python_files(paths: list[str | Path],
+                       exclude: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for entry in paths:
+        p = Path(entry)
+        if p.is_file():
+            if p.suffix == ".py":
+                files.append(p)
+            continue
+        if not p.is_dir():
+            raise FileNotFoundError(f"lint path does not exist: {p}")
+        for sub in sorted(p.rglob("*.py")):
+            parts = set(sub.parts)
+            if any(e in parts for e in exclude):
+                continue
+            if any(part.startswith(".") and part not in (".", "..")
+                   for part in sub.parts):
+                continue
+            files.append(sub)
+    # Deterministic order and no duplicates even with overlapping roots.
+    unique: dict[str, Path] = {}
+    for f in files:
+        unique.setdefault(f.as_posix(), f)
+    return list(unique.values())
+
+
+def lint_paths(paths: list[str | Path], *, config: LintConfig | None = None,
+               baseline: str | Path | None = None) -> LintReport:
+    """Run every selected rule over every ``*.py`` under ``paths``."""
+    config = config or load_config()
+    rule_classes = all_rules()
+    selected = set(config.select or rule_classes) - set(config.ignore)
+    rules = [cls(config=config.as_rule_config())
+             for rid, cls in sorted(rule_classes.items()) if rid in selected]
+
+    baseline_keys: set[str] = set()
+    if baseline is not None and Path(baseline).is_file():
+        data = json.loads(Path(baseline).read_text(encoding="utf-8"))
+        baseline_keys = set(data.get("keys", []))
+
+    findings: list[Finding] = []
+    suppressed = 0
+    baselined = 0
+    parse_errors: list[tuple[str, str]] = []
+    files = _iter_python_files(paths, config.exclude)
+    for path in files:
+        try:
+            ctx = FileContext(path.as_posix(),
+                              path.read_text(encoding="utf-8"))
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            parse_errors.append((path.as_posix(), str(exc)))
+            continue
+        for rule in rules:
+            for finding in rule.check(ctx):
+                if ctx.suppressed(finding.rule, finding.line):
+                    suppressed += 1
+                elif finding.key() in baseline_keys:
+                    baselined += 1
+                else:
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintReport(findings=findings, files_checked=len(files),
+                      suppressed=suppressed, baselined=baselined,
+                      parse_errors=parse_errors)
+
+
+def write_baseline(report: LintReport, path: str | Path) -> None:
+    """Persist the current findings as grandfathered baseline keys."""
+    payload = {
+        "schema": "repro.lint.baseline/v1",
+        "keys": sorted(f.key() for f in report.findings),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+
+
+def format_text(report: LintReport) -> str:
+    lines = []
+    for f in report.findings:
+        lines.append(f"{f.path}:{f.line}:{f.col}: {f.rule} {f.message}")
+    for path, err in report.parse_errors:
+        lines.append(f"{path}: PARSE-ERROR {err}")
+    lines.append(
+        f"{len(report.findings)} finding(s) in {report.files_checked} file(s)"
+        f" ({report.suppressed} suppressed, {report.baselined} baselined)"
+    )
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    rule_classes = all_rules()
+    payload = {
+        "schema": SCHEMA,
+        "files_checked": report.files_checked,
+        "suppressed": report.suppressed,
+        "baselined": report.baselined,
+        "rules": {rid: cls.summary for rid, cls in sorted(rule_classes.items())},
+        "findings": [f.to_dict() for f in report.findings],
+        "parse_errors": [{"path": p, "error": e} for p, e in report.parse_errors],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def validate_report(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid lint report."""
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(f"expected schema {SCHEMA}, got {payload.get('schema')!r}")
+    for key in ("files_checked", "suppressed", "baselined", "findings"):
+        if key not in payload:
+            raise ValueError(f"missing key {key!r}")
+    for f in payload["findings"]:
+        for key in ("rule", "path", "line", "col", "message"):
+            if key not in f:
+                raise ValueError(f"finding missing key {key!r}: {f}")
+        if not isinstance(f["line"], int) or f["line"] < 1:
+            raise ValueError(f"finding has invalid line: {f}")

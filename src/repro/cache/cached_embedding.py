@@ -107,7 +107,8 @@ class CachedTTEmbeddingBag(Module):
         self.refresh_interval = refresh_interval
         self.tracker = LFUTracker(policy=policy)
         self.cache_rows = Parameter(
-            np.zeros((self.cache_size, dim)), name=f"{name}.cache", sparse=True
+            np.zeros((self.cache_size, dim), dtype=self.tt.dtype),
+            name=f"{name}.cache", sparse=True
         )
         # Sorted row-id array for O(log k) vectorized membership tests;
         # _cache_slot[i] is the cache row holding table row _cached_ids[i].
@@ -232,7 +233,7 @@ class CachedTTEmbeddingBag(Module):
             absorb_rows(self.tt, evicted_ids,
                         self.cache_rows.data[old_slots], steps=10, lr=0.5)
 
-        values = np.zeros((hot.size, self.dim))
+        values = np.zeros((hot.size, self.dim), dtype=self.cache_rows.data.dtype)
         if kept.size:
             old_mask, old_slots = self._membership(kept)
             assert old_mask.all()
@@ -275,7 +276,8 @@ class CachedTTEmbeddingBag(Module):
         indices, offsets = check_csr(indices, offsets, self.num_rows)
         alpha = None
         if per_sample_weights is not None:
-            alpha = np.asarray(per_sample_weights, dtype=np.float64).reshape(-1)
+            alpha = np.asarray(per_sample_weights,
+                               dtype=self.cache_rows.data.dtype).reshape(-1)
             if alpha.shape[0] != indices.shape[0]:
                 raise ValueError("per_sample_weights must match indices in length")
 
@@ -303,7 +305,7 @@ class CachedTTEmbeddingBag(Module):
                 and not np.isfinite(self.cache_rows.data[slots]).all()):
             self.repaired_rows += self.scrub()
 
-        rows = np.empty((indices.size, self.dim))
+        rows = np.empty((indices.size, self.dim), dtype=self.cache_rows.data.dtype)
         if mask.any():
             rows[mask] = self.cache_rows.data[slots]
         tt_idx = indices[~mask]
@@ -318,7 +320,7 @@ class CachedTTEmbeddingBag(Module):
         out = segment_sum(weighted, offsets)
         counts = np.diff(offsets)
         if self.mode == "mean":
-            scale = np.where(counts > 0, counts, 1).astype(np.float64)
+            scale = np.asarray(np.where(counts > 0, counts, 1), dtype=out.dtype)
             out = out / scale[:, None]
         self._cache = {
             "mask": mask, "slots": slots, "decoded": decoded,
@@ -333,10 +335,11 @@ class CachedTTEmbeddingBag(Module):
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         c = self._cache
-        grad_out = np.asarray(grad_out, dtype=np.float64)
+        grad_out = np.asarray(grad_out, dtype=self.cache_rows.data.dtype)
         counts = c["counts"]
         if self.mode == "mean":
-            scale = np.where(counts > 0, counts, 1).astype(np.float64)
+            scale = np.asarray(np.where(counts > 0, counts, 1),
+                               dtype=grad_out.dtype)
             grad_out = grad_out / scale[:, None]
         bag_ids = np.repeat(np.arange(len(counts)), counts)
         grad_rows = grad_out[bag_ids]
@@ -359,7 +362,7 @@ class CachedTTEmbeddingBag(Module):
         """Row materialisation honouring the cache (no stats, no backward)."""
         indices = np.asarray(indices, dtype=np.int64)
         mask, slots = self._membership(indices)
-        rows = np.empty((indices.size, self.dim))
+        rows = np.empty((indices.size, self.dim), dtype=self.cache_rows.data.dtype)
         if mask.any():
             rows[mask] = self.cache_rows.data[slots]
         if (~mask).any():

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.dtypes import COUNT_DTYPE
+
 __all__ = ["OpenAddressingHashTable", "splitmix64"]
 
 _EMPTY = np.int64(-1)
@@ -44,7 +46,7 @@ class OpenAddressingHashTable:
         self._capacity = 1 << int(np.ceil(np.log2(max(capacity, 8))))
         self._load_factor = load_factor
         self._keys = np.full(self._capacity, _EMPTY, dtype=np.int64)
-        self._values = np.zeros(self._capacity, dtype=np.float64)
+        self._values = np.zeros(self._capacity, dtype=COUNT_DTYPE)
         self._size = 0
 
     # ------------------------------------------------------------------ #
@@ -64,7 +66,7 @@ class OpenAddressingHashTable:
             old_keys, old_values = self.items()
             self._capacity *= 2
             self._keys = np.full(self._capacity, _EMPTY, dtype=np.int64)
-            self._values = np.zeros(self._capacity, dtype=np.float64)
+            self._values = np.zeros(self._capacity, dtype=COUNT_DTYPE)
             self._size = 0
             if old_keys.size:
                 self._insert(old_keys, old_values)
@@ -80,9 +82,9 @@ class OpenAddressingHashTable:
             raise ValueError("keys must be non-negative")
         if np.isscalar(amounts) or np.asarray(amounts).ndim == 0:
             uniq, counts = np.unique(keys, return_counts=True)
-            vals = counts.astype(np.float64) * float(amounts)
+            vals = counts.astype(COUNT_DTYPE) * float(amounts)
         else:
-            amounts = np.asarray(amounts, dtype=np.float64).reshape(-1)
+            amounts = np.asarray(amounts, dtype=COUNT_DTYPE).reshape(-1)
             if amounts.shape != keys.shape:
                 raise ValueError("amounts must match keys in length")
             order = np.argsort(keys, kind="stable")
@@ -123,7 +125,7 @@ class OpenAddressingHashTable:
     def get(self, keys: np.ndarray, default: float = 0.0) -> np.ndarray:
         """Look up accumulated values; missing keys yield ``default``."""
         keys = np.asarray(keys, dtype=np.int64).reshape(-1)
-        out = np.full(keys.shape, default, dtype=np.float64)
+        out = np.full(keys.shape, default, dtype=COUNT_DTYPE)
         if keys.size == 0:
             return out
         slots = self._slots_for(keys)
@@ -154,7 +156,7 @@ class OpenAddressingHashTable:
         """
         keys, values = self.items()
         if k <= 0 or keys.size == 0:
-            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=COUNT_DTYPE)
         k = min(k, keys.size)
         # lexsort: primary descending value, secondary ascending key
         order = np.lexsort((keys, -values))[:k]

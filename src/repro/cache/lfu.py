@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cache.hashtable import OpenAddressingHashTable
+from repro.utils.dtypes import COUNT_DTYPE
 
 __all__ = ["LFUTracker"]
 
@@ -110,7 +111,7 @@ class LFUTracker:
         self._table = OpenAddressingHashTable(int(state["capacity"]))
         keys = np.asarray(state["keys"], dtype=np.int64)
         if keys.size:
-            self._table.add(keys, np.asarray(state["values"], dtype=np.float64))
+            self._table.add(keys, np.asarray(state["values"], dtype=COUNT_DTYPE))
         self._clock = int(state["clock"])
         self._frozen = bool(state["frozen"])
         self.total_accesses = int(state["total_accesses"])

@@ -460,6 +460,48 @@ def _cmd_serve_bench(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_lint(args) -> int:
+    import json as _json
+
+    from repro.analysis.static.runner import (
+        LintConfig,
+        format_json,
+        format_text,
+        lint_paths,
+        load_config,
+        write_baseline,
+    )
+
+    config = load_config(args.config)
+    if args.select:
+        config.select = [r.upper() for r in args.select]
+    if args.ignore:
+        config.ignore = [r.upper() for r in args.ignore]
+    try:
+        report = lint_paths(args.paths, config=config, baseline=args.baseline)
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        write_baseline(report, args.write_baseline)
+        print(f"wrote baseline with {len(report.findings)} key(s) to "
+              f"{args.write_baseline}")
+        return 0
+    if args.format == "json":
+        text = format_json(report)
+        if args.output:
+            from pathlib import Path
+
+            Path(args.output).write_text(text + "\n", encoding="utf-8")
+            print(f"wrote lint report to {args.output} "
+                  f"({len(report.findings)} finding(s))")
+        else:
+            print(text)
+    else:
+        print(format_text(report))
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="TT-Rec reproduction toolkit"
@@ -568,6 +610,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events-jsonl", default=None, metavar="PATH",
                    help="stream telemetry events to a JSONL file")
     p.set_defaults(fn=_cmd_serve_bench)
+
+    p = sub.add_parser("lint",
+                       help="project-specific static analysis "
+                            "(docs/STATIC_ANALYSIS.md); exit 1 on findings")
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--select", nargs="+", metavar="RULE", default=None,
+                   help="run only these rule ids")
+    p.add_argument("--ignore", nargs="+", metavar="RULE", default=None,
+                   help="skip these rule ids")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="JSON baseline of grandfathered finding keys")
+    p.add_argument("--write-baseline", default=None, metavar="PATH",
+                   help="write current findings as a baseline and exit 0")
+    p.add_argument("--config", default=None, metavar="PYPROJECT",
+                   help="pyproject.toml to read [tool.repro.lint] from "
+                        "(default: nearest to cwd)")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="with --format json, write the report here")
+    p.set_defaults(fn=_cmd_lint)
 
     return parser
 

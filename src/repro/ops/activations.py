@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ops.module import Module
+from repro.utils.dtypes import default_dtype
 
 __all__ = ["ReLU", "Sigmoid"]
 
@@ -16,7 +17,7 @@ class ReLU(Module):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=default_dtype())
         self._mask = x > 0
         return np.where(self._mask, x, 0.0)
 
@@ -35,7 +36,7 @@ class Sigmoid(Module):
         self._out: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=default_dtype())
         # Numerically stable piecewise evaluation: never exponentiates a
         # large positive argument.
         out = np.empty_like(x)

@@ -73,7 +73,7 @@ class EmbeddingBag(Module):
         indices, offsets = check_csr(indices, offsets, self.num_rows)
         rows = self.weight.data[indices]
         if per_sample_weights is not None:
-            alpha = np.asarray(per_sample_weights, dtype=np.float64).reshape(-1)
+            alpha = np.asarray(per_sample_weights, dtype=rows.dtype).reshape(-1)
             if alpha.shape[0] != indices.shape[0]:
                 raise ValueError(
                     f"per_sample_weights length {alpha.shape[0]} != "
@@ -85,7 +85,7 @@ class EmbeddingBag(Module):
         out = segment_sum(rows, offsets)
         counts = np.diff(offsets)
         if self.mode == "mean":
-            scale = np.where(counts > 0, counts, 1).astype(np.float64)
+            scale = np.asarray(np.where(counts > 0, counts, 1), dtype=out.dtype)
             out = out / scale[:, None]
         self._cache = (indices, offsets, alpha, counts)
         return out
@@ -95,9 +95,10 @@ class EmbeddingBag(Module):
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         indices, offsets, alpha, counts = self._cache
-        grad_out = np.asarray(grad_out, dtype=np.float64)
+        grad_out = np.asarray(grad_out, dtype=self.weight.data.dtype)
         if self.mode == "mean":
-            scale = np.where(counts > 0, counts, 1).astype(np.float64)
+            scale = np.asarray(np.where(counts > 0, counts, 1),
+                               dtype=grad_out.dtype)
             grad_out = grad_out / scale[:, None]
         # Expand bag gradients back to per-index gradients.
         bag_ids = np.repeat(np.arange(len(counts)), counts)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ops.module import Module
+from repro.utils.dtypes import default_dtype
 
 __all__ = ["DotInteraction", "CatInteraction"]
 
@@ -38,10 +39,10 @@ class DotInteraction(Module):
         return dense_dim + f * (f - 1) // 2
 
     def forward(self, x: np.ndarray, sparse: list[np.ndarray]) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=default_dtype())
         if x.ndim != 2:
             raise ValueError(f"dense input must be 2-D, got shape {x.shape}")
-        feats = [x] + [np.asarray(v, dtype=np.float64) for v in sparse]
+        feats = [x] + [np.asarray(v, dtype=x.dtype) for v in sparse]
         for i, v in enumerate(feats):
             if v.shape != x.shape:
                 raise ValueError(
@@ -62,10 +63,10 @@ class DotInteraction(Module):
         stacked = self._stacked
         b, f, d = stacked.shape
         li, lj = self._tri
-        grad_out = np.asarray(grad_out, dtype=np.float64)
+        grad_out = np.asarray(grad_out, dtype=stacked.dtype)
         grad_x_direct = grad_out[:, :d]
         grad_pairs = grad_out[:, d:]
-        gz = np.zeros((b, f, f), dtype=np.float64)
+        gz = np.zeros((b, f, f), dtype=stacked.dtype)
         gz[:, li, lj] = grad_pairs
         # z = T T^T  =>  dT = (gz + gz^T) T
         grad_stacked = (gz + gz.transpose(0, 2, 1)) @ stacked
@@ -87,8 +88,8 @@ class CatInteraction(Module):
         return dense_dim * (num_sparse + 1)
 
     def forward(self, x: np.ndarray, sparse: list[np.ndarray]) -> np.ndarray:
-        feats = [np.asarray(x, dtype=np.float64)] + [
-            np.asarray(v, dtype=np.float64) for v in sparse
+        feats = [np.asarray(x, dtype=default_dtype())] + [
+            np.asarray(v, dtype=default_dtype()) for v in sparse
         ]
         self._splits = [v.shape[1] for v in feats]
         return np.concatenate(feats, axis=1)
@@ -97,7 +98,7 @@ class CatInteraction(Module):
         if self._splits is None:
             raise RuntimeError("backward called before forward")
         pieces = np.split(
-            np.asarray(grad_out, dtype=np.float64),
+            np.asarray(grad_out, dtype=default_dtype()),
             np.cumsum(self._splits)[:-1],
             axis=1,
         )

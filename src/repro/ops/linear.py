@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ops.module import Module, Parameter
+from repro.utils.dtypes import default_dtype
 from repro.utils.seeding import as_rng
 
 __all__ = ["Linear"]
@@ -37,7 +38,7 @@ class Linear(Module):
         self._input: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=default_dtype())
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(
                 f"expected input of shape (batch, {self.in_features}), got {x.shape}"
@@ -48,7 +49,7 @@ class Linear(Module):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._input is None:
             raise RuntimeError("backward called before forward")
-        grad_out = np.asarray(grad_out, dtype=np.float64)
+        grad_out = np.asarray(grad_out, dtype=self.weight.data.dtype)
         self.weight.grad += self._input.T @ grad_out
         self.bias.grad += grad_out.sum(axis=0)
         return grad_out @ self.weight.data.T

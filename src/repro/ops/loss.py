@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.dtypes import default_dtype
+
 __all__ = ["bce_with_logits", "BCEWithLogitsLoss"]
 
 
@@ -30,8 +32,8 @@ def bce_with_logits(logits: np.ndarray, targets: np.ndarray) -> tuple[float, np.
     keeps the two numerically consistent (both use the stable softplus
     formulation ``BCE = softplus(z) - y*z``).
     """
-    logits = np.asarray(logits, dtype=np.float64).reshape(-1)
-    targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+    logits = np.asarray(logits, dtype=default_dtype()).reshape(-1)
+    targets = np.asarray(targets, dtype=logits.dtype).reshape(-1)
     if logits.shape != targets.shape:
         raise ValueError(f"logits {logits.shape} and targets {targets.shape} must match")
     if logits.size == 0:

@@ -6,6 +6,8 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from repro.utils.dtypes import default_dtype
+
 __all__ = ["Parameter", "Module"]
 
 
@@ -28,8 +30,11 @@ class Parameter:
         optimizers can skip the untouched bulk of the table.
     """
 
-    def __init__(self, data: np.ndarray, *, name: str = "param", sparse: bool = False):
-        self.data = np.ascontiguousarray(data, dtype=np.float64)
+    def __init__(self, data: np.ndarray, *, name: str = "param", sparse: bool = False,
+                 dtype: np.dtype | None = None):
+        self.data = np.ascontiguousarray(
+            data, dtype=default_dtype() if dtype is None else np.dtype(dtype)
+        )
         self.grad = np.zeros_like(self.data)
         self.name = name
         self.sparse = sparse
@@ -103,6 +108,7 @@ class Module:
         """Model size in bytes assuming ``dtype_bytes`` per element.
 
         The paper reports sizes for fp32 tables, hence the default of 4
-        even though this NumPy implementation trains in float64.
+        even though this NumPy implementation trains in float64 under the
+        default :func:`repro.utils.dtypes.default_dtype` policy.
         """
         return self.num_parameters() * dtype_bytes

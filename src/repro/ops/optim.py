@@ -76,7 +76,8 @@ class SGD:
         for key, value in state.items():
             if key.startswith("velocity."):
                 i = int(key.split(".", 1)[1])
-                self._velocity[id(self.params[i])] = np.array(value, dtype=np.float64)
+                p = self.params[i]
+                self._velocity[id(p)] = np.array(value, dtype=p.data.dtype)
 
 
 class SparseSGD:
@@ -131,7 +132,7 @@ class RowWiseAdagrad:
         self._accum: dict[int, np.ndarray] = {}
         for p in self.params:
             if p.sparse and p.data.ndim >= 2:
-                self._accum[id(p)] = np.zeros(p.data.shape[0])
+                self._accum[id(p)] = np.zeros(p.data.shape[0], dtype=p.data.dtype)
             else:
                 self._accum[id(p)] = np.zeros_like(p.data)
 
@@ -170,7 +171,8 @@ class RowWiseAdagrad:
         for key, value in state.items():
             if key.startswith("accum."):
                 i = int(key.split(".", 1)[1])
-                self._accum[id(self.params[i])] = np.array(value, dtype=np.float64)
+                p = self.params[i]
+                self._accum[id(p)] = np.array(value, dtype=p.data.dtype)
 
 
 class Adagrad:
@@ -214,4 +216,5 @@ class Adagrad:
         for key, value in state.items():
             if key.startswith("accum."):
                 i = int(key.split(".", 1)[1])
-                self._accum[id(self.params[i])] = np.array(value, dtype=np.float64)
+                p = self.params[i]
+                self._accum[id(p)] = np.array(value, dtype=p.data.dtype)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.tt.shapes import TTShape
+from repro.utils.dtypes import default_dtype
 
 __all__ = ["tt_svd", "tt_reconstruct", "tt_full_tensor"]
 
@@ -54,13 +55,14 @@ def tt_svd(matrix: np.ndarray, shape: TTShape, *, rtol: float = 0.0) -> list[np.
     (see :class:`TTShape`), directly loadable into
     :meth:`repro.tt.embedding_bag.TTEmbeddingBag.load_cores`.
     """
-    matrix = np.asarray(matrix, dtype=np.float64)
+    matrix = np.asarray(matrix, dtype=default_dtype())
     if matrix.shape != (shape.num_rows, shape.dim):
         raise ValueError(
             f"matrix shape {matrix.shape} != ({shape.num_rows}, {shape.dim})"
         )
     if shape.padded_rows != shape.num_rows:
-        pad = np.zeros((shape.padded_rows - shape.num_rows, shape.dim))
+        pad = np.zeros((shape.padded_rows - shape.num_rows, shape.dim),
+                       dtype=matrix.dtype)
         matrix = np.vstack([matrix, pad])
     t = _matrix_to_tensor(matrix, shape)
 

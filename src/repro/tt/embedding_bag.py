@@ -104,6 +104,11 @@ class TTEmbeddingBag(Module):
             self.cores.append(Parameter(core, name=f"{name}.core{k}", sparse=True))
         self._cache: dict | None = None
 
+    @property
+    def dtype(self) -> np.dtype:
+        """The single floating dtype of the cores (and every output)."""
+        return self.cores[0].data.dtype
+
     # ------------------------------------------------------------------ #
     # Forward
     # ------------------------------------------------------------------ #
@@ -137,7 +142,7 @@ class TTEmbeddingBag(Module):
         """Materialise the requested rows (no pooling, no backward cache)."""
         indices = np.asarray(indices, dtype=np.int64)
         if indices.size == 0:
-            return np.zeros((0, self.dim))
+            return np.zeros((0, self.dim), dtype=self.dtype)
         decoded = self.shape.decode_indices(indices)
         rows, _ = self._row_chain(decoded)
         return rows
@@ -150,7 +155,7 @@ class TTEmbeddingBag(Module):
             offsets = np.arange(indices.size + 1, dtype=np.int64)
         indices, offsets = check_csr(indices, offsets, self.num_rows)
         if per_sample_weights is not None:
-            alpha = np.asarray(per_sample_weights, dtype=np.float64).reshape(-1)
+            alpha = np.asarray(per_sample_weights, dtype=self.dtype).reshape(-1)
             if alpha.shape[0] != indices.shape[0]:
                 raise ValueError(
                     f"per_sample_weights length {alpha.shape[0]} != "
@@ -167,7 +172,7 @@ class TTEmbeddingBag(Module):
                 "inverse": None, "alpha": alpha,
                 "counts": np.diff(offsets), "lefts": [],
             }
-            return np.zeros((offsets.size - 1, self.dim))
+            return np.zeros((offsets.size - 1, self.dim), dtype=self.dtype)
 
         if self.dedup and indices.size:
             uniq, inverse = np.unique(indices, return_inverse=True)
@@ -184,7 +189,8 @@ class TTEmbeddingBag(Module):
             out = segment_sum(weighted, offsets)
             counts = np.diff(offsets)
             if self.mode == "mean":
-                scale = np.where(counts > 0, counts, 1).astype(np.float64)
+                scale = np.asarray(np.where(counts > 0, counts, 1),
+                                   dtype=out.dtype)
                 out = out / scale[:, None]
         self._cache = {
             "indices": indices,
@@ -207,10 +213,11 @@ class TTEmbeddingBag(Module):
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         c = self._cache
-        grad_out = np.asarray(grad_out, dtype=np.float64)
+        grad_out = np.asarray(grad_out, dtype=self.dtype)
         counts = c["counts"]
         if self.mode == "mean":
-            scale = np.where(counts > 0, counts, 1).astype(np.float64)
+            scale = np.asarray(np.where(counts > 0, counts, 1),
+                               dtype=grad_out.dtype)
             grad_out = grad_out / scale[:, None]
         bag_ids = np.repeat(np.arange(len(counts)), counts)
         grad_rows = grad_out[bag_ids]  # (n_indices, dim)
@@ -219,7 +226,7 @@ class TTEmbeddingBag(Module):
         if c["inverse"] is not None:
             # Combine gradient contributions of duplicate indices.
             n_uniq = c["decoded"].shape[1]
-            combined = np.zeros((n_uniq, self.dim))
+            combined = np.zeros((n_uniq, self.dim), dtype=grad_rows.dtype)
             scatter_add_rows(combined, c["inverse"], grad_rows)
             grad_rows = combined
 
@@ -237,13 +244,14 @@ class TTEmbeddingBag(Module):
         if n == 0:
             return
         d = self.shape.d
-        right = np.ones((n, 1, 1))  # R_d == 1, Q_{d-1} == 1
+        right = np.ones((n, 1, 1), dtype=grad_rows.dtype)  # R_d == 1, Q_{d-1} == 1
         q = 1
         for k in range(d - 1, -1, -1):
             r_prev = self.shape.ranks[k]
             r_next = self.shape.ranks[k + 1]
             nk = self.shape.col_factors[k]
-            left = lefts[k - 1] if k > 0 else np.ones((n, 1, 1))
+            left = (lefts[k - 1] if k > 0
+                    else np.ones((n, 1, 1), dtype=grad_rows.dtype))
             p = left.shape[1]
             with trace("tt.backward.gemm", core=k):
                 # dO as (n, P_{k-1}, n_k * Q_k)

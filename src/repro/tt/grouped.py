@@ -56,6 +56,10 @@ class GroupedTTEmbeddingBag(Module):
         self._cache: dict | None = None
 
     @property
+    def dtype(self) -> np.dtype:
+        return self.tables[0].dtype
+
+    @property
     def num_tables(self) -> int:
         return len(self.tables)
 
@@ -88,7 +92,7 @@ class GroupedTTEmbeddingBag(Module):
             checked.append((indices, offsets))
             decoded_list.append(self.shape.decode_indices(indices))
             if per_sample_weights is not None and per_sample_weights[t] is not None:
-                a = np.asarray(per_sample_weights[t], dtype=np.float64).reshape(-1)
+                a = np.asarray(per_sample_weights[t], dtype=self.dtype).reshape(-1)
                 if a.shape[0] != indices.shape[0]:
                     raise ValueError(f"table {t}: weight length mismatch")
                 alphas.append(a)
@@ -114,7 +118,7 @@ class GroupedTTEmbeddingBag(Module):
                 lefts.append(res)
             rows_all = res.reshape(total, self.dim)
         else:
-            rows_all = np.zeros((0, self.dim))
+            rows_all = np.zeros((0, self.dim), dtype=self.dtype)
             lefts = []
 
         outputs = []
@@ -126,7 +130,8 @@ class GroupedTTEmbeddingBag(Module):
             out = segment_sum(weighted, offsets)
             counts = np.diff(offsets)
             if self.mode == "mean":
-                scale = np.where(counts > 0, counts, 1).astype(np.float64)
+                scale = np.asarray(np.where(counts > 0, counts, 1),
+                                   dtype=out.dtype)
                 out = out / scale[:, None]
             outputs.append(out)
         self._cache = {
@@ -149,10 +154,11 @@ class GroupedTTEmbeddingBag(Module):
         grad_rows_parts = []
         for t, ((indices, offsets), alpha, grad) in enumerate(
                 zip(c["checked"], c["alphas"], grads)):
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad, dtype=self.dtype)
             counts = np.diff(offsets)
             if self.mode == "mean":
-                scale = np.where(counts > 0, counts, 1).astype(np.float64)
+                scale = np.asarray(np.where(counts > 0, counts, 1),
+                                   dtype=grad.dtype)
                 grad = grad / scale[:, None]
             bag_ids = np.repeat(np.arange(len(counts)), counts)
             g = grad[bag_ids]
@@ -166,13 +172,14 @@ class GroupedTTEmbeddingBag(Module):
         lefts = c["lefts"]
         n = total
         d = self.shape.d
-        right = np.ones((n, 1, 1))
+        right = np.ones((n, 1, 1), dtype=grad_rows.dtype)
         q = 1
         for k in range(d - 1, -1, -1):
             r_prev = self.shape.ranks[k]
             r_next = self.shape.ranks[k + 1]
             nk = self.shape.col_factors[k]
-            left = lefts[k - 1] if k > 0 else np.ones((n, 1, 1))
+            left = (lefts[k - 1] if k > 0
+                    else np.ones((n, 1, 1), dtype=grad_rows.dtype))
             p = left.shape[1]
             d_out = grad_rows.reshape(n, p, nk * q)
             tmp = np.matmul(left.transpose(0, 2, 1), d_out)

@@ -16,6 +16,7 @@ import math
 import numpy as np
 
 from repro.tt.shapes import TTShape
+from repro.utils.dtypes import default_dtype
 from repro.utils.seeding import as_rng
 
 __all__ = [
@@ -125,7 +126,7 @@ def _rejection_normal(rng: np.random.Generator, size: int, cutoff: float) -> np.
     from scipy.stats import norm
 
     accept = 2.0 * norm.sf(cutoff)
-    out = np.empty(size, dtype=np.float64)
+    out = np.empty(size, dtype=default_dtype())
     filled = 0
     while filled < size:
         need = size - filled

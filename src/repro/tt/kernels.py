@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.telemetry import trace
 from repro.tt.shapes import TTShape
+from repro.utils.dtypes import result_dtype
 
 __all__ = ["scatter_add_rows", "tt_lookup_reference"]
 
@@ -43,8 +44,10 @@ def scatter_add_rows(buf: np.ndarray, rows: np.ndarray, vals: np.ndarray) -> Non
         sorted_vals = flat[order]
         uniq, starts = np.unique(sorted_rows, return_index=True)
         summed = np.add.reduceat(sorted_vals, starts, axis=0)
-        buf_flat = buf.reshape(buf.shape[0], -1)
-        buf_flat[uniq] += summed
+        # In-place accumulation into the caller's gradient buffer is this
+        # function's documented contract ("buf[rows] += vals").
+        buf_flat = buf.reshape(buf.shape[0], -1)  # repro: noqa[MUT001]
+        buf_flat[uniq] += summed  # repro: noqa[MUT001]
 
 
 def tt_lookup_reference(cores: list[np.ndarray], shape: TTShape,
@@ -56,16 +59,18 @@ def tt_lookup_reference(cores: list[np.ndarray], shape: TTShape,
     """
     indices = np.asarray(indices, dtype=np.int64)
     decoded = shape.decode_indices(indices)
-    out = np.empty((indices.size, shape.dim), dtype=np.float64)
     with trace("kernels.naive_chain", rows=int(indices.size)):
-        return _naive_chain(cores, shape, decoded, out)
+        return _naive_chain(cores, shape, decoded, indices.size)
 
 
 def _naive_chain(cores: list[np.ndarray], shape: TTShape, decoded: np.ndarray,
-                 out: np.ndarray) -> np.ndarray:
-    indices_size = out.shape[0]
-    for row in range(indices_size):
-        acc = np.ones((1, 1))
+                 num_rows: int) -> np.ndarray:
+    # The gather buffer follows the cores' dtype (the single dtype policy;
+    # a hard-coded float64 here would silently upcast float32 cores).
+    dtype = result_dtype(*cores)
+    out = np.empty((num_rows, shape.dim), dtype=dtype)
+    for row in range(num_rows):
+        acc = np.ones((1, 1), dtype=dtype)
         for k in range(shape.d):
             slice_k = cores[k][decoded[k, row]]  # (R_{k-1}, n_k, R_k)
             r_prev, nk, rk = slice_k.shape

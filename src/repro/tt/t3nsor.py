@@ -51,6 +51,10 @@ class T3nsorEmbeddingBag(Module):
         ]
         self._cache: dict | None = None
 
+    @property
+    def dtype(self) -> np.dtype:
+        return self.cores[0].data.dtype
+
     def materialize(self) -> np.ndarray:
         """Full-table decompression — executed on *every* forward pass."""
         return tt_full_tensor([p.data for p in self.cores])[: self.num_rows]
@@ -75,12 +79,12 @@ class T3nsorEmbeddingBag(Module):
         rows = full[indices]
         alpha = None
         if per_sample_weights is not None:
-            alpha = np.asarray(per_sample_weights, dtype=np.float64).reshape(-1)
+            alpha = np.asarray(per_sample_weights, dtype=self.dtype).reshape(-1)
             rows = rows * alpha[:, None]
         out = segment_sum(rows, offsets)
         counts = np.diff(offsets)
         if self.mode == "mean":
-            scale = np.where(counts > 0, counts, 1).astype(np.float64)
+            scale = np.asarray(np.where(counts > 0, counts, 1), dtype=out.dtype)
             out = out / scale[:, None]
         self._cache = {"indices": indices, "alpha": alpha, "counts": counts}
         return out
@@ -97,16 +101,18 @@ class T3nsorEmbeddingBag(Module):
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         c = self._cache
-        grad_out = np.asarray(grad_out, dtype=np.float64)
+        grad_out = np.asarray(grad_out, dtype=self.dtype)
         counts = c["counts"]
         if self.mode == "mean":
-            scale = np.where(counts > 0, counts, 1).astype(np.float64)
+            scale = np.asarray(np.where(counts > 0, counts, 1),
+                               dtype=grad_out.dtype)
             grad_out = grad_out / scale[:, None]
         bag_ids = np.repeat(np.arange(len(counts)), counts)
         grad_rows = grad_out[bag_ids]
         if c["alpha"] is not None:
             grad_rows = grad_rows * c["alpha"][:, None]
-        d_full = np.zeros((self.shape.padded_rows, self.dim))
+        d_full = np.zeros((self.shape.padded_rows, self.dim),
+                          dtype=grad_rows.dtype)
         np.add.at(d_full, c["indices"], grad_rows)
         self._backprop_full(d_full)
 

@@ -33,7 +33,7 @@ def reconstruction_error(emb: TTEmbeddingBag, row_ids: np.ndarray,
                          targets: np.ndarray) -> float:
     """RMS error between the TT table's rows and the targets."""
     row_ids = np.asarray(row_ids, dtype=np.int64)
-    targets = np.asarray(targets, dtype=np.float64)
+    targets = np.asarray(targets, dtype=emb.dtype)
     diff = emb.lookup(row_ids) - targets
     return float(np.sqrt(np.mean(diff * diff)))
 
@@ -59,7 +59,7 @@ def absorb_rows(emb: TTEmbeddingBag, row_ids: np.ndarray, targets: np.ndarray, *
       point about why this is hard in general.
     """
     row_ids = np.asarray(row_ids, dtype=np.int64)
-    targets = np.asarray(targets, dtype=np.float64)
+    targets = np.asarray(targets, dtype=emb.dtype)
     if targets.shape != (row_ids.size, emb.dim):
         raise ValueError(
             f"targets must have shape ({row_ids.size}, {emb.dim}), "

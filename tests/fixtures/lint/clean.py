@@ -1,0 +1,16 @@
+"""Fixture: a file every rule passes."""
+import time
+
+import numpy as np
+
+
+def sample(n, rng):
+    t0 = time.perf_counter()
+    values = rng.standard_normal(n).astype(np.float32)
+    for v in sorted({1, 2, 3}):
+        values = values + v
+    try:
+        result = values.sum()
+    except FloatingPointError:
+        raise
+    return result, time.perf_counter() - t0

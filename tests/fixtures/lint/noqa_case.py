@@ -1,0 +1,9 @@
+"""Fixture: suppression — same RNG001 violation, noqa'd two ways."""
+import numpy as np
+
+
+def sample(n):
+    np.random.seed(7)   # repro: noqa[RNG001]
+    bad = np.random.rand(n)  # repro: noqa
+    also_bad = np.random.rand(n)  # repro: noqa[DT001]  (wrong rule: still fires)
+    return bad + also_bad

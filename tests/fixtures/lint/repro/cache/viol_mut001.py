@@ -1,0 +1,12 @@
+"""Fixture: MUT001 — in-place write to a function argument (via an alias)."""
+
+
+def scatter(buf, rows, vals):
+    flat = buf.reshape(buf.shape[0], -1)
+    flat[rows] += vals        # line 6: MUT001 (alias of buf)
+    buf[0] = 0.0              # line 7: MUT001 (direct)
+    return None
+
+
+def scatter_(buf, rows, vals):
+    buf[rows] += vals         # exempt: trailing-underscore convention

@@ -1,0 +1,6 @@
+"""Fixture: DT001 — hard-coded np.float64 in a hot-path module."""
+import numpy as np
+
+
+def gather(n):
+    return np.empty(n, dtype=np.float64)  # line 6: DT001

@@ -1,0 +1,8 @@
+"""Fixture: DT002 — dtype-less allocation in a hot-path module."""
+import numpy as np
+
+
+def alloc(shape):
+    buf = np.zeros(shape)     # line 6: DT002
+    tmp = np.empty(3)         # line 7: DT002
+    return buf, tmp

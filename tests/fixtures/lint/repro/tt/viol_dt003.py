@@ -1,0 +1,9 @@
+"""Fixture: DT003 — astype copy inside a loop in a hot-path module."""
+import numpy as np
+
+
+def convert(chunks):
+    out = []
+    for chunk in chunks:
+        out.append(chunk.astype(np.float32))  # line 8: DT003
+    return out

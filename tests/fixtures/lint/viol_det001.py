@@ -1,0 +1,9 @@
+"""Fixture: DET001 — wall-clock read in a compute path."""
+import time
+from datetime import datetime
+
+
+def stamp():
+    t0 = time.time()          # line 7: DET001
+    day = datetime.now()      # line 8: DET001
+    return t0, day

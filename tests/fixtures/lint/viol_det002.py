@@ -1,0 +1,8 @@
+"""Fixture: DET002 — iteration over a set feeding accumulation."""
+
+
+def total(values):
+    acc = 0.0
+    for v in set(values):     # line 6: DET002
+        acc += v
+    return acc

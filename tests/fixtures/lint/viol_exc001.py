@@ -1,0 +1,8 @@
+"""Fixture: EXC001 — bare except."""
+
+
+def guarded(fn):
+    try:
+        return fn()
+    except:                   # line 7: EXC001
+        return None

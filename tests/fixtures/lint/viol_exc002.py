@@ -1,0 +1,9 @@
+"""Fixture: EXC002 — except Exception with no trace and no re-raise."""
+
+
+def guarded(fn):
+    try:
+        return fn()
+    except Exception:         # line 7: EXC002
+        pass
+    return 0

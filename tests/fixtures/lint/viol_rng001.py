@@ -1,0 +1,7 @@
+"""Fixture: RNG001 — global-state numpy RNG call."""
+import numpy as np
+
+
+def sample(n):
+    np.random.seed(42)            # line 6: RNG001
+    return np.random.rand(n)      # line 7: RNG001
