@@ -1,5 +1,11 @@
-"""Benchmark harness: workload generators and result reporting."""
+"""Benchmark harness: workload generators, reporting, regression gate."""
 
+from repro.bench.regression import (
+    BASELINE_SCHEMA,
+    compare,
+    load_bench,
+    normalized_arms,
+)
 from repro.bench.reporting import (
     BENCH_SCHEMA,
     format_series,
@@ -20,4 +26,8 @@ __all__ = [
     "format_series",
     "write_bench_json",
     "BENCH_SCHEMA",
+    "BASELINE_SCHEMA",
+    "load_bench",
+    "normalized_arms",
+    "compare",
 ]

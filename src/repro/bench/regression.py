@@ -1,0 +1,158 @@
+"""Kernel benchmark regression gate (CI ``kernel-bench`` job).
+
+Raw ms/iter numbers are machine-dependent, so ``BENCH_kernels.json``
+records every planner arm *normalised* by a reference arm measured in the
+same run (``data.reference_arm``). The committed baseline
+(``benchmarks/baseline_kernels.json``) pins the expected normalised values;
+:func:`compare` fails any arm whose normalised ms/iter grew by more than
+``tolerance`` (default 20%) — i.e. a steady-state slowdown relative to
+the rest of the kernel suite, which survives slower/faster CI runners.
+
+Usage (exit 1 on regression)::
+
+    python -m repro.bench.regression BENCH_kernels.json \
+        benchmarks/baseline_kernels.json --tolerance 0.20
+
+A baseline can be (re)written from a current run with ``--write-baseline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.reporting import BENCH_SCHEMA
+
+__all__ = ["load_bench", "normalized_arms", "compare", "main",
+           "BASELINE_SCHEMA"]
+
+BASELINE_SCHEMA = "repro.bench.baseline/v1"
+
+
+def load_bench(path: str) -> dict:
+    """Load and validate a ``repro.bench/v1`` document with planner arms."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {BENCH_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    data = doc.get("data", {})
+    if "arms" not in data or "reference_arm" not in data:
+        raise ValueError(f"{path}: no planner arms recorded (data.arms missing)")
+    if data["reference_arm"] not in data["arms"]:
+        raise ValueError(
+            f"{path}: reference arm {data['reference_arm']!r} not in arms"
+        )
+    return doc
+
+
+def normalized_arms(doc: dict) -> dict[str, float]:
+    """Per-arm ms/iter divided by the run's reference arm."""
+    data = doc["data"]
+    ref = float(data["arms"][data["reference_arm"]]["ms_per_iter"])
+    if ref <= 0:
+        raise ValueError(f"reference arm {data['reference_arm']!r} has ms <= 0")
+    return {
+        name: float(arm["ms_per_iter"]) / ref
+        for name, arm in data["arms"].items()
+    }
+
+
+def load_baseline(path: str) -> dict:
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {BASELINE_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    if not isinstance(doc.get("arms"), dict) or not doc["arms"]:
+        raise ValueError(f"{path}: baseline has no arms")
+    return doc
+
+
+def compare(current: dict, baseline: dict, *,
+            tolerance: float = 0.20) -> list[str]:
+    """Return regression messages (empty list = gate passes).
+
+    ``current`` is a loaded bench doc; ``baseline`` a loaded baseline doc.
+    An arm regresses when its normalised ms/iter exceeds the baseline
+    value by more than ``tolerance``. Arms missing from the current run
+    fail too (a silently dropped arm must not pass the gate).
+    """
+    norm = normalized_arms(current)
+    failures = []
+    for name, expected in baseline["arms"].items():
+        if name not in norm:
+            failures.append(f"{name}: arm missing from current run")
+            continue
+        got = norm[name]
+        limit = float(expected) * (1.0 + tolerance)
+        if got > limit:
+            failures.append(
+                f"{name}: normalised ms/iter {got:.3f} exceeds baseline "
+                f"{float(expected):.3f} by more than {tolerance:.0%} "
+                f"(limit {limit:.3f})"
+            )
+    return failures
+
+
+def write_baseline(current: dict, path: str, *, note: str = "") -> None:
+    doc = {
+        "schema": BASELINE_SCHEMA,
+        "reference_arm": current["data"]["reference_arm"],
+        "note": note or ("normalised ms/iter per arm, relative to "
+                         "reference_arm in the same run"),
+        "arms": {name: round(v, 4)
+                 for name, v in normalized_arms(current).items()},
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.regression",
+        description="Fail on kernel-bench regression vs a committed baseline",
+    )
+    parser.add_argument("current", help="BENCH_kernels.json from this run")
+    parser.add_argument("baseline", nargs="?",
+                        help="committed baseline_kernels.json")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed normalised slowdown (default 0.20)")
+    parser.add_argument("--write-baseline", metavar="PATH",
+                        help="write a new baseline from the current run")
+    args = parser.parse_args(argv)
+
+    current = load_bench(args.current)
+    if args.write_baseline:
+        write_baseline(current, args.write_baseline)
+        print(f"wrote baseline {args.write_baseline}")
+        return 0
+    if not args.baseline:
+        parser.error("baseline path required (or use --write-baseline)")
+    baseline = load_baseline(args.baseline)
+
+    norm = normalized_arms(current)
+    width = max(len(n) for n in norm)
+    print(f"reference arm: {current['data']['reference_arm']}")
+    for name in sorted(norm):
+        base = baseline["arms"].get(name)
+        base_s = f"baseline {float(base):8.3f}" if base is not None else "(ungated)"
+        print(f"  {name.ljust(width)}  norm {norm[name]:8.3f}  {base_s}")
+    failures = compare(current, baseline, tolerance=args.tolerance)
+    if failures:
+        print(f"\nREGRESSION ({len(failures)} arm(s), tolerance "
+              f"{args.tolerance:.0%}):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\ngate passed ({len(baseline['arms'])} arms within "
+          f"{args.tolerance:.0%} of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,7 @@ from repro.ops.embedding import segment_sum
 from repro.ops.module import Module, Parameter
 from repro.telemetry import emit_event, get_registry, trace
 from repro.tt.embedding_bag import TTEmbeddingBag
+from repro.tt.kernels import scatter_add_rows
 from repro.tt.shapes import TTShape
 from repro.utils.seeding import as_rng
 from repro.utils.validation import check_csr
@@ -69,6 +70,17 @@ class CachedTTEmbeddingBag(Module):
         probed at the ``cache.row`` site each forward: a firing fault
         corrupts one resident cache row (chaos testing; :meth:`scrub`
         repairs such rows from the TT cores).
+    dedup:
+        Deduplicate the *miss* indices before contracting the TT chain
+        (one shared :class:`~repro.tt.planner.BatchPlan` for forward and
+        backward). On by default: under Zipf traffic the misses that slip
+        past the cache are still duplicate-heavy, and duplicate gradients
+        are combined before Algorithm 2 either way, so results match the
+        raw path to float round-off.
+    plan_policy:
+        Contraction-schedule policy forwarded to the underlying
+        :class:`TTEmbeddingBag`'s planner (``auto``/``fixed``/``l2r``/
+        ``r2l``/``split:k``).
     """
 
     def __init__(self, num_rows: int, dim: int, *, shape: TTShape | None = None,
@@ -78,12 +90,15 @@ class CachedTTEmbeddingBag(Module):
                  cache_size: int | None = None, cache_fraction: float | None = None,
                  warmup_steps: int = 100, refresh_interval: int | None = 1000,
                  policy: str = "lfu", eviction: str = "discard",
-                 injector=None, name: str = "cached_tt_emb"):
+                 injector=None, dedup: bool = True, plan_policy: str = "auto",
+                 name: str = "cached_tt_emb"):
         rng = as_rng(rng)
         self.tt = TTEmbeddingBag(
             num_rows, dim, shape=shape, rank=rank, d=d, mode=mode,
-            initializer=initializer, rng=rng, name=f"{name}.tt",
+            initializer=initializer, rng=rng, plan_policy=plan_policy,
+            name=f"{name}.tt",
         )
+        self.dedup = bool(dedup)
         self.num_rows = num_rows
         self.dim = dim
         self.mode = mode
@@ -117,6 +132,7 @@ class CachedTTEmbeddingBag(Module):
         self._steps = 0
         self._populated = False
         self._cache: dict | None = None
+        self._did_backward = False
         self.injector = injector
         # Read validation (ECC / row-checksum stand-in): verify served
         # cache rows are finite and refill poisoned ones from the TT
@@ -298,23 +314,36 @@ class CachedTTEmbeddingBag(Module):
         self._metrics["hits"].inc(hits)
         self._metrics["misses"].inc(indices.size - hits)
 
-        # A poisoned row served into the towers is masked by ReLU (NaN
-        # clips to 0) and silently degrades the model instead of crashing
-        # it, so corruption must be caught at the read, not at the loss.
-        if ((self.validate_reads or self.injector is not None) and mask.any()
-                and not np.isfinite(self.cache_rows.data[slots]).all()):
-            self.repaired_rows += self.scrub()
-
         rows = np.empty((indices.size, self.dim), dtype=self.cache_rows.data.dtype)
         if mask.any():
-            rows[mask] = self.cache_rows.data[slots]
+            # Single gather: validate and serve from the same buffer. A
+            # poisoned row served into the towers is masked by ReLU (NaN
+            # clips to 0) and silently degrades the model instead of
+            # crashing it, so corruption must be caught at the read, not
+            # at the loss.
+            served = self.cache_rows.data[slots]
+            if ((self.validate_reads or self.injector is not None)
+                    and not np.isfinite(served).all()):
+                self.repaired_rows += self.scrub()
+                served = self.cache_rows.data[slots]  # re-gather repaired rows
+            rows[mask] = served
         tt_idx = indices[~mask]
         if tt_idx.size:
-            decoded = self.tt.shape.decode_indices(tt_idx)
-            tt_rows, lefts = self.tt._row_chain(decoded)
-            rows[~mask] = tt_rows
+            # Shared batch plan for the miss path: dedup once, contract
+            # through the planner's pooled buffers, expand via `inverse`.
+            # Backward reuses the same decoded/inverse arrays.
+            plan = self.tt.planner.plan_batch(
+                tt_idx, dedup=self.dedup,
+                need_lefts=self.tt.store_intermediates,
+            )
+            tt_rows, lefts = self.tt.planner.execute(
+                plan.schedule, plan.decoded, self.tt._core_data(),
+                keep_lefts=self.tt.store_intermediates, pooled=True,
+            )
+            decoded, inverse = plan.decoded, plan.inverse
+            rows[~mask] = tt_rows[inverse] if inverse is not None else tt_rows
         else:
-            decoded, lefts = None, None
+            decoded, lefts, inverse = None, None, None
 
         weighted = rows if alpha is None else rows * alpha[:, None]
         out = segment_sum(weighted, offsets)
@@ -324,15 +353,23 @@ class CachedTTEmbeddingBag(Module):
             out = out / scale[:, None]
         self._cache = {
             "mask": mask, "slots": slots, "decoded": decoded,
+            "inverse": inverse,
             "lefts": lefts if self.tt.store_intermediates else None,
             "alpha": alpha, "counts": counts,
         }
+        self._did_backward = False
         return out
 
     __call__ = forward
 
     def backward(self, grad_out: np.ndarray) -> None:
         if self._cache is None:
+            if self._did_backward:
+                raise RuntimeError(
+                    "backward called twice for one forward; cache-row and "
+                    "core gradients would double-accumulate — run forward "
+                    "again first"
+                )
             raise RuntimeError("backward called before forward")
         c = self._cache
         grad_out = np.asarray(grad_out, dtype=self.cache_rows.data.dtype)
@@ -348,13 +385,24 @@ class CachedTTEmbeddingBag(Module):
 
         mask = c["mask"]
         if mask.any():
-            np.add.at(self.cache_rows.grad, c["slots"], grad_rows[mask])
+            # Duplicate-combining segmented scatter (same kernel as the TT
+            # core grads) — np.add.at is an O(n) scalar loop in NumPy.
+            scatter_add_rows(self.cache_rows.grad, c["slots"], grad_rows[mask])
             self.cache_rows.record_touched(c["slots"])
         if c["decoded"] is not None:
+            tt_grad = grad_rows[~mask]
+            if c["inverse"] is not None:
+                # Combine gradient contributions of deduplicated misses.
+                combined = np.zeros((c["decoded"].shape[1], self.dim),
+                                    dtype=tt_grad.dtype)
+                scatter_add_rows(combined, c["inverse"], tt_grad)
+                tt_grad = combined
             lefts = c["lefts"]
             if lefts is None:
                 _, lefts = self.tt._row_chain(c["decoded"])
-            self.tt._accumulate_core_grads(c["decoded"], grad_rows[~mask], lefts)
+            self.tt._accumulate_core_grads(c["decoded"], tt_grad, lefts)
+        self._cache = None
+        self._did_backward = True
 
     # ------------------------------------------------------------------ #
 
@@ -397,15 +445,19 @@ class CachedTTEmbeddingBag(Module):
     # ------------------------------------------------------------------ #
 
     def extra_state(self) -> dict:
-        """Cache bookkeeping a checkpoint must carry beyond parameters."""
+        """Cache bookkeeping a checkpoint must carry beyond parameters.
+
+        Every registry counter is persisted: dropping any of them breaks
+        the ``lookups == hits + misses`` invariant after resume.
+        """
         state = {
             "cached_ids": self._cached_ids.copy(),
             "cache_slot": self._cache_slot.copy(),
             "steps": int(self._steps),
             "populated": bool(self._populated),
-            "lookups": int(self.lookups),
-            "hits": int(self.hits),
         }
+        for key, counter in self._metrics.items():
+            state[key] = int(counter.value)
         for key, value in self.tracker.state_dict().items():
             state[f"tracker.{key}"] = value
         return state
@@ -415,13 +467,16 @@ class CachedTTEmbeddingBag(Module):
         self._cache_slot = np.asarray(state["cache_slot"], dtype=np.int64)
         self._steps = int(state["steps"])
         self._populated = bool(state["populated"])
-        self.lookups = int(state["lookups"])
-        self.hits = int(state["hits"])
+        for key, counter in self._metrics.items():
+            # .get: checkpoints written before all counters were persisted
+            # restore the ones they have and zero the rest.
+            counter.set(int(state.get(key, 0)))
         self.tracker.load_state_dict({
             key.split(".", 1)[1]: value
             for key, value in state.items() if key.startswith("tracker.")
         })
         self._cache = None
+        self._did_backward = False
 
     def num_parameters(self) -> int:
         """TT params + cache rows (the cache counts toward the budget)."""

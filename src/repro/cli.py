@@ -71,7 +71,79 @@ def _cmd_sizes(args) -> int:
     return 0
 
 
+def _cmd_plan_kernel(args) -> int:
+    """Kernel-planner report: chosen schedule, predicted vs measured FLOPs."""
+    from time import perf_counter_ns
+
+    from repro.bench.reporting import format_table
+    from repro.bench.workloads import pooling_workload, uniform_workload
+    from repro.telemetry import get_registry
+    from repro.tt.embedding_bag import TTEmbeddingBag
+    from repro.tt.planner import candidate_schedules
+
+    dedup = not args.no_dedup
+    emb = TTEmbeddingBag(args.rows, args.dim, rank=args.rank, d=args.d,
+                         dedup=dedup, plan_policy=args.policy, rng=0)
+    shape = emb.shape
+    n_lookups = args.batch * args.pooling
+    chosen = emb.planner.schedule_for(n_lookups, need_lefts=False)
+    print(f"shape: {shape.describe()}")
+    print(f"policy: {args.policy}  dedup: {'on' if dedup else 'off'}  "
+          f"batch: {args.batch} x pooling {args.pooling}")
+    rows = [
+        [s.label, s.gemms, f"{s.flops_per_row:,}", f"{s.bytes_per_row:,}",
+         f"{n_lookups * s.flops_per_row:,}",
+         "chosen" if s.label == chosen.label else ""]
+        for s in candidate_schedules(shape, emb.dtype.itemsize)
+    ]
+    print(format_table(
+        ["schedule", "GEMMs", "FLOPs/row", "bytes/row",
+         f"FLOPs @ n={n_lookups}", ""],
+        rows, title="Candidate contraction schedules (lookup path)",
+    ))
+
+    if args.zipf is not None:
+        indices, _ = pooling_workload(args.rows, args.batch, args.pooling,
+                                      zipf_s=args.zipf, rng=args.seed)
+    else:
+        indices, _ = uniform_workload(args.rows, args.batch,
+                                      pooling_factor=args.pooling,
+                                      rng=args.seed)
+    indices = np.minimum(indices, args.rows - 1)
+
+    reg = get_registry()
+    planned_c = reg.counter("tt.plan.flops_planned")
+    executed_c = reg.counter("tt.plan.flops_executed")
+    saved_c = reg.counter("tt.plan.flops_saved")
+    removed_c = reg.counter("tt.plan.dedup_removed")
+    for _ in range(3):  # warm the plan memo and buffer pool
+        emb.lookup(indices)
+    base = (planned_c.value, executed_c.value, saved_c.value, removed_c.value)
+    t0 = perf_counter_ns()
+    for _ in range(args.iters):
+        emb.lookup(indices)
+    elapsed_ms = (perf_counter_ns() - t0) / 1e6
+    planned = (planned_c.value - base[0]) / args.iters
+    executed = (executed_c.value - base[1]) / args.iters
+    saved = (saved_c.value - base[2]) / args.iters
+    removed = (removed_c.value - base[3]) / args.iters
+    ms = elapsed_ms / args.iters
+    baseline = n_lookups * emb.planner.candidates[0].flops_per_row
+    print(f"\nmeasured over {args.iters} iters:")
+    print(f"  ms/iter:          {ms:.3f}")
+    print(f"  predicted FLOPs:  {planned:,.0f} / iter")
+    print(f"  measured FLOPs:   {executed:,.0f} / iter "
+          f"({executed / (ms * 1e6):.2f} GFLOP/s)")
+    print(f"  fixed-l2r FLOPs:  {baseline:,.0f} / iter "
+          f"(saved {saved:,.0f}, {100.0 * saved / baseline:.1f}%)")
+    print(f"  dedup removed:    {removed:,.0f} of {n_lookups} lookups / iter")
+    return 0
+
+
 def _cmd_plan(args) -> int:
+    # `report` re-enters with a synthetic Namespace that predates --kernel.
+    if getattr(args, "kernel", False):
+        return _cmd_plan_kernel(args)
     from repro.analysis.autotune import plan_compression
     from repro.bench.reporting import format_table
     from repro.data import KAGGLE, TERABYTE
@@ -517,10 +589,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tables", type=int, nargs="+", default=[3, 5, 7])
     p.set_defaults(fn=_cmd_sizes)
 
-    p = sub.add_parser("plan", help="auto-tune ranks for a memory budget")
+    p = sub.add_parser(
+        "plan",
+        help="auto-tune ranks for a memory budget, or (--kernel) report "
+             "the batch execution planner's schedule choice",
+    )
     p.add_argument("--dataset", choices=["kaggle", "terabyte"], default="kaggle")
     p.add_argument("--budget-mb", type=float, default=20.0)
     p.add_argument("--top", type=int, default=10, help="tables to display")
+    p.add_argument("--kernel", action="store_true",
+                   help="kernel-planner mode: chosen contraction schedule "
+                        "and predicted vs measured FLOPs (docs/KERNELS.md)")
+    p.add_argument("--rows", type=int, default=100_000,
+                   help="[--kernel] logical table rows")
+    p.add_argument("--dim", type=int, default=16, help="[--kernel] embedding dim")
+    p.add_argument("--rank", type=int, default=16, help="[--kernel] TT rank")
+    p.add_argument("--d", type=int, default=3, help="[--kernel] TT cores")
+    p.add_argument("--batch", type=int, default=4096, help="[--kernel] batch size")
+    p.add_argument("--pooling", type=int, default=1,
+                   help="[--kernel] lookups per bag")
+    p.add_argument("--zipf", type=float, default=None,
+                   help="[--kernel] Zipf exponent (default: uniform traffic)")
+    p.add_argument("--policy", default="auto",
+                   help="[--kernel] auto | fixed | l2r | r2l | split:<k>")
+    p.add_argument("--no-dedup", action="store_true",
+                   help="[--kernel] disable batch deduplication")
+    p.add_argument("--iters", type=int, default=20,
+                   help="[--kernel] timed iterations")
+    p.add_argument("--seed", type=int, default=0, help="[--kernel] workload seed")
     p.set_defaults(fn=_cmd_plan)
 
     p = sub.add_parser("locality", help="hot-set stability trace (Fig. 9 style)")

@@ -30,6 +30,9 @@ class TTConfig:
     eviction: str = "discard"
     store_intermediates: bool = True
     dedup: bool = False
+    # Contraction-schedule policy for the batch execution planner
+    # (repro.tt.planner): "auto", "fixed"/"l2r", "r2l" or "split:k".
+    plan_policy: str = "auto"
 
     def __post_init__(self):
         if self.rank < 1:

@@ -13,6 +13,9 @@ Public surface:
   sampled-Gaussian scheme (paper Algorithm 3, §3.2).
 - :class:`~repro.tt.t3nsor.T3nsorEmbeddingBag` — the decompress-on-the-fly
   SOTA baseline the paper compares against (Fig. 8).
+- :mod:`~repro.tt.planner` — per-batch execution planning: dedup,
+  contraction-schedule selection by FLOP/bytes counting, pooled buffers
+  (docs/KERNELS.md).
 """
 
 from repro.tt.decomposition import tt_reconstruct, tt_svd
@@ -24,6 +27,14 @@ from repro.tt.initialization import (
     sampled_gaussian_cores,
     tt_core_initializer,
 )
+from repro.tt.planner import (
+    BatchPlan,
+    BufferPool,
+    ExecutionPlanner,
+    Schedule,
+    candidate_schedules,
+    schedule_cost,
+)
 from repro.tt.shapes import TTShape
 from repro.tt.t3nsor import T3nsorEmbeddingBag
 
@@ -31,6 +42,12 @@ __all__ = [
     "TTShape",
     "TTEmbeddingBag",
     "T3nsorEmbeddingBag",
+    "BatchPlan",
+    "BufferPool",
+    "ExecutionPlanner",
+    "Schedule",
+    "candidate_schedules",
+    "schedule_cost",
     "tt_svd",
     "tt_reconstruct",
     "tt_core_initializer",

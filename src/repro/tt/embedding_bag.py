@@ -29,6 +29,7 @@ from repro.telemetry import trace
 from repro.tt.decomposition import tt_reconstruct
 from repro.tt.initialization import tt_core_initializer
 from repro.tt.kernels import scatter_add_rows
+from repro.tt.planner import ExecutionPlanner
 from repro.tt.shapes import TTShape
 from repro.utils.seeding import as_rng
 from repro.utils.validation import check_csr
@@ -64,6 +65,12 @@ class TTEmbeddingBag(Module):
         expand afterwards. The paper's GPU kernel does not dedup (Fig. 11
         discusses exactly this reuse gap vs EmbeddingBag); dedup is off by
         default for faithfulness but available as an optimization.
+    plan_policy:
+        Contraction-schedule policy for the per-batch
+        :class:`~repro.tt.planner.ExecutionPlanner`: ``"auto"`` (default)
+        picks the cheapest order by the FLOP/bytes model, ``"fixed"``/
+        ``"l2r"``/``"r2l"``/``"split:k"`` pin one. Forwards that keep left
+        partials for Algorithm 2 always run ``l2r`` (see planner docs).
     """
 
     def __init__(self, num_rows: int, dim: int, *, shape: TTShape | None = None,
@@ -71,7 +78,7 @@ class TTEmbeddingBag(Module):
                  initializer="sampled_gaussian",
                  rng: int | None | np.random.Generator = None,
                  store_intermediates: bool = True, dedup: bool = False,
-                 name: str = "tt_emb"):
+                 plan_policy: str = "auto", name: str = "tt_emb"):
         if mode not in ("sum", "mean"):
             raise ValueError(f"mode must be 'sum' or 'mean', got {mode!r}")
         if shape is None:
@@ -102,7 +109,11 @@ class TTEmbeddingBag(Module):
                     f"expected {expected}"
                 )
             self.cores.append(Parameter(core, name=f"{name}.core{k}", sparse=True))
+        self.planner = ExecutionPlanner(
+            shape, plan_policy, itemsize=self.cores[0].data.dtype.itemsize
+        )
         self._cache: dict | None = None
+        self._did_backward = False
 
     @property
     def dtype(self) -> np.dtype:
@@ -113,39 +124,38 @@ class TTEmbeddingBag(Module):
     # Forward
     # ------------------------------------------------------------------ #
 
+    def _core_data(self) -> list[np.ndarray]:
+        return [p.data for p in self.cores]
+
     def _row_chain(self, decoded: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
         """Batched TT chain (Algorithm 1). Returns ``(rows, left_partials)``.
 
         ``decoded`` is ``(d, n)``; ``rows`` is ``(n, dim)``; ``left_partials[k]``
         is the product of cores ``0..k`` with shape ``(n, prod_{j<=k} n_j, R_{k+1})``
-        (the ``tr_k`` buffers of Algorithm 1).
+        (the ``tr_k`` buffers of Algorithm 1). Always the ``l2r`` schedule
+        (left partials only exist for it) and always unpooled, so callers
+        may hold the returned buffers indefinitely.
         """
-        n = decoded.shape[1]
-        with trace("tt.forward.gather", core=0):
-            first = self.cores[0].data[decoded[0]]  # (n, 1, n_1, R_1)
-            res = first.reshape(n, self.shape.col_factors[0], self.shape.ranks[1])
-        lefts = [res]
-        for k in range(1, self.shape.d):
-            with trace("tt.forward.gemm", core=k):
-                core = self.cores[k].data[decoded[k]]  # (n, R_{k-1}, n_k, R_k)
-                r_prev = self.shape.ranks[k]
-                r_next = self.shape.ranks[k + 1]
-                nk = self.shape.col_factors[k]
-                # Batched GEMM: (n, P, R_{k-1}) @ (n, R_{k-1}, n_k*R_k)
-                res = np.matmul(res, core.reshape(n, r_prev, nk * r_next))
-                res = res.reshape(n, -1, r_next)
-            lefts.append(res)
-        rows = res.reshape(n, self.dim)
+        schedule = self.planner.schedule_for(decoded.shape[1], need_lefts=True)
+        rows, lefts = self.planner.execute(schedule, decoded, self._core_data(),
+                                           keep_lefts=True)
         return rows, lefts
 
     def lookup(self, indices: np.ndarray) -> np.ndarray:
-        """Materialise the requested rows (no pooling, no backward cache)."""
+        """Materialise the requested rows (no pooling, no backward cache).
+
+        Runs *unpooled*: lookup is called between forward and backward
+        (cache population, scrubbing, row write-back), so it must not
+        clobber pooled left partials a pending backward still needs.
+        """
         indices = np.asarray(indices, dtype=np.int64)
         if indices.size == 0:
             return np.zeros((0, self.dim), dtype=self.dtype)
-        decoded = self.shape.decode_indices(indices)
-        rows, _ = self._row_chain(decoded)
-        return rows
+        plan = self.planner.plan_batch(indices, dedup=self.dedup,
+                                       need_lefts=False)
+        rows, _ = self.planner.execute(plan.schedule, plan.decoded,
+                                       self._core_data())
+        return rows[plan.inverse] if plan.inverse is not None else rows
 
     def forward(self, indices: np.ndarray, offsets: np.ndarray | None = None,
                 per_sample_weights: np.ndarray | None = None) -> np.ndarray:
@@ -172,17 +182,21 @@ class TTEmbeddingBag(Module):
                 "inverse": None, "alpha": alpha,
                 "counts": np.diff(offsets), "lefts": [],
             }
+            self._did_backward = False
             return np.zeros((offsets.size - 1, self.dim), dtype=self.dtype)
 
-        if self.dedup and indices.size:
-            uniq, inverse = np.unique(indices, return_inverse=True)
-            decoded = self.shape.decode_indices(uniq)
-            uniq_rows, lefts = self._row_chain(decoded)
-            rows = uniq_rows[inverse]
-        else:
-            inverse = None
-            decoded = self.shape.decode_indices(indices)
-            rows, lefts = self._row_chain(decoded)
+        # One plan shared with backward: dedup once, pick the schedule,
+        # run through pooled scratch buffers (reused across steps). Left
+        # partials are pool views, valid until the next pooled call —
+        # i.e. exactly until this forward's backward has consumed them.
+        plan = self.planner.plan_batch(indices, dedup=self.dedup,
+                                       need_lefts=self.store_intermediates)
+        uniq_rows, lefts = self.planner.execute(
+            plan.schedule, plan.decoded, self._core_data(),
+            keep_lefts=self.store_intermediates, pooled=True,
+        )
+        rows = uniq_rows[plan.inverse] if plan.inverse is not None else uniq_rows
+        decoded, inverse = plan.decoded, plan.inverse
 
         with trace("tt.forward.pool"):
             weighted = rows if alpha is None else rows * alpha[:, None]
@@ -200,6 +214,7 @@ class TTEmbeddingBag(Module):
             "counts": counts,
             "lefts": lefts if self.store_intermediates else None,
         }
+        self._did_backward = False
         return out
 
     __call__ = forward
@@ -209,8 +224,18 @@ class TTEmbeddingBag(Module):
     # ------------------------------------------------------------------ #
 
     def backward(self, grad_out: np.ndarray) -> None:
-        """Accumulate core gradients for the last forward call (Algorithm 2)."""
+        """Accumulate core gradients for the last forward call (Algorithm 2).
+
+        Consumes the forward cache: a second ``backward`` for the same
+        forward would silently double-accumulate gradients, so it raises
+        instead.
+        """
         if self._cache is None:
+            if self._did_backward:
+                raise RuntimeError(
+                    "backward called twice for one forward; core gradients "
+                    "would double-accumulate — run forward again first"
+                )
             raise RuntimeError("backward called before forward")
         c = self._cache
         grad_out = np.asarray(grad_out, dtype=self.dtype)
@@ -237,6 +262,8 @@ class TTEmbeddingBag(Module):
             with trace("tt.backward.recompute"):
                 _, lefts = self._row_chain(decoded)
         self._accumulate_core_grads(decoded, grad_rows, lefts)
+        self._cache = None
+        self._did_backward = True
 
     def _accumulate_core_grads(self, decoded: np.ndarray, grad_rows: np.ndarray,
                                lefts: list[np.ndarray]) -> None:

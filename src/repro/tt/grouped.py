@@ -9,6 +9,13 @@ split back — mathematically identical to per-table execution (tested
 bit-for-bit) with one GEMM dispatch per TT core instead of one per
 (table, core).
 
+Execution goes through a shared :class:`~repro.tt.planner.ExecutionPlanner`:
+each table's indices are deduplicated once (when ``dedup`` is on) and the
+fused chain runs through pooled scratch buffers reused across steps. The
+grouped path always keeps left partials for the fused Algorithm 2 sweep,
+which pins the schedule to ``l2r`` (see planner docs) — the planner still
+contributes dedup, buffer reuse and ``tt.plan.*`` telemetry here.
+
 This mirrors how production libraries (FBGEMM's batched TT kernels,
 torchrec's grouped/pooled embedding ops) amortise kernel-launch and GEMM
 setup across tables.
@@ -22,6 +29,7 @@ from repro.ops.embedding import segment_sum
 from repro.ops.module import Module
 from repro.tt.embedding_bag import TTEmbeddingBag
 from repro.tt.kernels import scatter_add_rows
+from repro.tt.planner import ExecutionPlanner
 from repro.utils.validation import check_csr
 
 __all__ = ["GroupedTTEmbeddingBag"]
@@ -34,9 +42,21 @@ class GroupedTTEmbeddingBag(Module):
     checkpoints and the DLRM wiring are unchanged); only the *execution*
     is fused. Tables must share an identical :class:`TTShape` and pooling
     mode.
+
+    Parameters
+    ----------
+    tables:
+        Same-shape member tables.
+    dedup:
+        Deduplicate each table's indices before the fused chain; ``None``
+        (default) inherits ``tables[0].dedup``.
+    plan_policy:
+        Planner policy for the fused chain; ``None`` inherits
+        ``tables[0].planner.policy``.
     """
 
-    def __init__(self, tables: list[TTEmbeddingBag]):
+    def __init__(self, tables: list[TTEmbeddingBag], *,
+                 dedup: bool | None = None, plan_policy: str | None = None):
         if not tables:
             raise ValueError("need at least one table")
         shape = tables[0].shape
@@ -53,7 +73,13 @@ class GroupedTTEmbeddingBag(Module):
         self.shape = shape
         self.mode = mode
         self.dim = tables[0].dim
+        self.dedup = tables[0].dedup if dedup is None else bool(dedup)
+        policy = tables[0].planner.policy if plan_policy is None else plan_policy
+        self.planner = ExecutionPlanner(
+            shape, policy, itemsize=tables[0].dtype.itemsize
+        )
         self._cache: dict | None = None
+        self._did_backward = False
 
     @property
     def dtype(self) -> np.dtype:
@@ -73,6 +99,20 @@ class GroupedTTEmbeddingBag(Module):
         ]
         return np.concatenate(parts, axis=0)
 
+    def _make_gather(self, decoded_list: list[np.ndarray], total: int):
+        """Pooled fused gather: per-table ``np.take`` into one scratch view."""
+        def gather(k: int) -> np.ndarray:
+            tail = self.tables[0].cores[k].data.shape[1:]
+            buf = self.planner.pool.take(("gather", k), (total, *tail),
+                                         self.dtype)
+            lo = 0
+            for t, dec in zip(self.tables, decoded_list):
+                hi = lo + dec.shape[1]
+                np.take(t.cores[k].data, dec[k], axis=0, out=buf[lo:hi])
+                lo = hi
+            return buf
+        return gather
+
     def forward_all(self, sparse: list[tuple[np.ndarray, np.ndarray]],
                     per_sample_weights: list[np.ndarray] | None = None
                     ) -> list[np.ndarray]:
@@ -84,13 +124,17 @@ class GroupedTTEmbeddingBag(Module):
             )
         checked = []
         decoded_list = []
+        inverses = []
         alphas = []
         for t, (indices, offsets) in enumerate(sparse):
             indices = np.asarray(indices, dtype=np.int64)
             indices, offsets = check_csr(indices, offsets,
                                          self.tables[t].num_rows)
             checked.append((indices, offsets))
-            decoded_list.append(self.shape.decode_indices(indices))
+            plan = self.planner.plan_batch(indices, dedup=self.dedup,
+                                           need_lefts=True)
+            decoded_list.append(plan.decoded)
+            inverses.append(plan.inverse)
             if per_sample_weights is not None and per_sample_weights[t] is not None:
                 a = np.asarray(per_sample_weights[t], dtype=self.dtype).reshape(-1)
                 if a.shape[0] != indices.shape[0]:
@@ -103,29 +147,22 @@ class GroupedTTEmbeddingBag(Module):
         total = int(sum(counts_per_table))
         splits = np.cumsum(counts_per_table)[:-1]
 
-        # Fused Algorithm 1 over the concatenated pseudo-batch.
-        if total:
-            first = self._gather_core(0, decoded_list)
-            res = first.reshape(total, self.shape.col_factors[0], self.shape.ranks[1])
-            lefts = [res]
-            for k in range(1, self.shape.d):
-                core = self._gather_core(k, decoded_list)
-                r_prev = self.shape.ranks[k]
-                r_next = self.shape.ranks[k + 1]
-                nk = self.shape.col_factors[k]
-                res = np.matmul(res, core.reshape(total, r_prev, nk * r_next))
-                res = res.reshape(total, -1, r_next)
-                lefts.append(res)
-            rows_all = res.reshape(total, self.dim)
-        else:
-            rows_all = np.zeros((0, self.dim), dtype=self.dtype)
-            lefts = []
+        # Fused Algorithm 1 over the concatenated (deduplicated)
+        # pseudo-batch; left partials are needed for the fused backward
+        # sweep, so the planner pins l2r here.
+        schedule = self.planner.schedule_for(total, need_lefts=True)
+        rows_all, lefts = self.planner.execute_chain(
+            schedule, self._make_gather(decoded_list, total), total,
+            self.dtype, keep_lefts=True, pooled=True,
+        )
 
         outputs = []
         for t, ((indices, offsets), alpha) in enumerate(zip(checked, alphas)):
             lo = 0 if t == 0 else splits[t - 1]
             hi = splits[t] if t < self.num_tables - 1 else total
             rows = rows_all[lo:hi]
+            if inverses[t] is not None:
+                rows = rows[inverses[t]]
             weighted = rows if alpha is None else rows * alpha[:, None]
             out = segment_sum(weighted, offsets)
             counts = np.diff(offsets)
@@ -135,25 +172,39 @@ class GroupedTTEmbeddingBag(Module):
                 out = out / scale[:, None]
             outputs.append(out)
         self._cache = {
-            "checked": checked, "decoded_list": decoded_list, "alphas": alphas,
+            "checked": checked, "decoded_list": decoded_list,
+            "inverses": inverses, "alphas": alphas,
             "splits": splits, "total": total, "lefts": lefts,
         }
+        self._did_backward = False
         return outputs
 
     def backward_all(self, grads: list[np.ndarray]) -> None:
-        """Fused Algorithm 2: one right-sweep for every table's gradients."""
+        """Fused Algorithm 2: one right-sweep for every table's gradients.
+
+        Consumes the forward cache; calling it twice for one
+        ``forward_all`` raises instead of double-accumulating.
+        """
         if self._cache is None:
+            if self._did_backward:
+                raise RuntimeError(
+                    "backward_all called twice for one forward_all; core "
+                    "gradients would double-accumulate — run forward_all "
+                    "again first"
+                )
             raise RuntimeError("backward_all called before forward_all")
         c = self._cache
         if len(grads) != self.num_tables:
             raise ValueError(f"expected {self.num_tables} gradients")
         total = c["total"]
         if total == 0:
+            self._cache = None
+            self._did_backward = True
             return
 
         grad_rows_parts = []
-        for t, ((indices, offsets), alpha, grad) in enumerate(
-                zip(c["checked"], c["alphas"], grads)):
+        for t, ((indices, offsets), alpha, inverse, grad) in enumerate(
+                zip(c["checked"], c["alphas"], c["inverses"], grads)):
             grad = np.asarray(grad, dtype=self.dtype)
             counts = np.diff(offsets)
             if self.mode == "mean":
@@ -164,6 +215,12 @@ class GroupedTTEmbeddingBag(Module):
             g = grad[bag_ids]
             if alpha is not None:
                 g = g * alpha[:, None]
+            if inverse is not None:
+                # Combine gradient contributions of deduplicated indices.
+                combined = np.zeros((c["decoded_list"][t].shape[1], self.dim),
+                                    dtype=g.dtype)
+                scatter_add_rows(combined, inverse, g)
+                g = combined
             grad_rows_parts.append(g)
         grad_rows = np.concatenate(grad_rows_parts, axis=0)
 
@@ -198,3 +255,5 @@ class GroupedTTEmbeddingBag(Module):
                                   right.reshape(n, r_next, q))
                 right = right.reshape(n, r_prev, nk * q)
                 q *= nk
+        self._cache = None
+        self._did_backward = True

@@ -1,0 +1,476 @@
+"""Batch execution planner for the TT contraction chain (Algorithm 1).
+
+The TT row lookup is a chain of batched GEMMs whose cost depends on the
+*order* the chain is contracted in — FBTT-Embedding (the paper's released
+CUDA kernel) and EL-Rec both tune this before launching kernels. This
+module brings that planning layer to the NumPy hot path:
+
+- **Dedup once, share everywhere.** :meth:`ExecutionPlanner.plan_batch`
+  collapses duplicate indices with one ``np.unique`` and hands the same
+  :class:`BatchPlan` (decoded unique indices + inverse map) to forward,
+  backward and the hybrid cache's miss path. Under Zipf traffic most of a
+  batch is duplicates, so this removes most of the GEMM work outright.
+
+- **Schedule selection by exact FLOP/bytes counting.** For a given
+  :class:`~repro.tt.shapes.TTShape` the chain can be contracted
+  left-to-right (``l2r``), right-to-left (``r2l``) or from both ends
+  meeting at core ``k`` (``split@k``). :func:`candidate_schedules` counts
+  exact multiply-add FLOPs and modelled memory traffic per row for every
+  candidate; ``auto`` policy picks the cheapest, ``fixed``/``l2r``/
+  ``r2l``/``split:k`` pin one. Because boundary ranks are 1, ``r2l`` has
+  the same cost as ``split@1`` and ``l2r`` the same as ``split@{d-1}``;
+  interior splits are only distinct for ``d >= 4``.
+
+- **Buffer reuse.** In pooled mode every GEMM writes into a
+  :class:`BufferPool` scratch view (``np.matmul(..., out=)`` /
+  ``np.take(..., out=)``) instead of allocating fresh ``lefts`` each step.
+  Pooled buffers are only valid until the next pooled call on the same
+  planner, so side paths (``lookup`` during cache population/scrub) run
+  unpooled — see ``TTEmbeddingBag.lookup``.
+
+Backward (Algorithm 2) consumes *left* partial products, so any forward
+that must keep or recompute ``lefts`` is pinned to ``l2r`` regardless of
+policy; alternate schedules apply to lookup-only execution (inference,
+cache fills, ``store_intermediates=False`` forwards recompute in ``l2r``).
+This is also what keeps planned gradients bit-identical to the unplanned
+path. See docs/KERNELS.md for the cost model and the benchmark gate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry import get_registry, trace
+from repro.tt.shapes import TTShape
+
+__all__ = [
+    "Schedule",
+    "BatchPlan",
+    "BufferPool",
+    "ExecutionPlanner",
+    "candidate_schedules",
+    "schedule_cost",
+]
+
+# Weight (in FLOP-equivalents per byte) of modelled memory traffic when
+# ranking schedules. The chain is small-operand / gather-heavy, so a pure
+# FLOP count under-penalises schedules that stream larger intermediates;
+# 0.5 flop/byte roughly matches the measured FLOP:bandwidth balance of
+# NumPy batched matmul on the bench shapes and is documented in
+# docs/KERNELS.md. Selection only changes where FLOP counts tie or nearly
+# tie, so the exact value is not load-bearing.
+_ALPHA_BYTES = 0.5
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """One contraction order for a fixed :class:`TTShape`.
+
+    ``flops_per_row`` counts exact multiply-add FLOPs (2 per MAC) for one
+    looked-up row; ``bytes_per_row`` is the modelled traffic: gathered
+    core slices (read + write of the gather buffer) plus every GEMM's
+    operand reads and output write, times the element size.
+    """
+
+    kind: str  # "l2r" | "r2l" | "split"
+    split: int | None
+    flops_per_row: int
+    bytes_per_row: int
+    gemms: int
+
+    @property
+    def label(self) -> str:
+        return f"split@{self.split}" if self.kind == "split" else self.kind
+
+    def cost(self, n: int) -> float:
+        """Modelled execution cost of an ``n``-row batch (FLOP-equivalents)."""
+        return n * (self.flops_per_row + _ALPHA_BYTES * self.bytes_per_row)
+
+
+@dataclass
+class BatchPlan:
+    """A planned batch: schedule + dedup bookkeeping shared by fwd/bwd.
+
+    ``decoded`` is ``(d, n_unique)``; ``inverse`` maps each of the ``n``
+    raw positions to its unique row (``None`` when dedup is off or the
+    batch had no duplicates removed).
+    """
+
+    schedule: Schedule
+    n: int
+    n_unique: int
+    decoded: np.ndarray
+    inverse: np.ndarray | None
+    flops_planned: int
+    flops_baseline: int
+
+
+def _partial_l2r(shape: TTShape, itemsize: int, lo: int, hi: int):
+    """Cost of the left-to-right sweep over cores ``lo..hi-1``.
+
+    Returns ``(flops, bytes, gemms, out_cols)`` per row, where the sweep's
+    result has shape ``(prod col[lo:hi]) x ranks[hi]`` and ``out_cols`` is
+    that row count (``P``).
+    """
+    col, ranks = shape.col_factors, shape.ranks
+    gathered = ranks[lo] * col[lo] * ranks[lo + 1]
+    traffic = 2 * gathered  # read slice + write gather buffer
+    flops = 0
+    gemms = 0
+    p = col[lo]
+    for k in range(lo + 1, hi):
+        slice_elems = ranks[k] * col[k] * ranks[k + 1]
+        traffic += 2 * slice_elems
+        out_elems = p * ranks[lo] * col[k] * ranks[k + 1]
+        # A (P*R_lo, R_k) @ B (R_k, n_k*R_{k+1}) -> C
+        flops += 2 * p * ranks[lo] * ranks[k] * col[k] * ranks[k + 1]
+        traffic += p * ranks[lo] * ranks[k] + slice_elems + out_elems
+        gemms += 1
+        p *= col[k]
+    return flops, traffic * itemsize, gemms, p
+
+
+def _partial_r2l(shape: TTShape, itemsize: int, lo: int, hi: int):
+    """Cost of the right-to-left sweep over cores ``lo..hi-1``.
+
+    The result has shape ``ranks[lo] x (prod col[lo:hi])`` per row;
+    returns ``(flops, bytes, gemms, out_cols)`` with ``out_cols = Q``.
+    """
+    col, ranks = shape.col_factors, shape.ranks
+    last = hi - 1
+    gathered = ranks[last] * col[last] * ranks[last + 1]
+    traffic = 2 * gathered
+    flops = 0
+    gemms = 0
+    q = col[last] * ranks[hi]  # ranks[hi] == 1 in both call sites (hi == d)
+    for k in range(hi - 2, lo - 1, -1):
+        slice_elems = ranks[k] * col[k] * ranks[k + 1]
+        traffic += 2 * slice_elems
+        # A (R_k*n_k, R_{k+1}) @ B (R_{k+1}, Q) -> C
+        flops += 2 * ranks[k] * col[k] * ranks[k + 1] * q
+        out_elems = ranks[k] * col[k] * q
+        traffic += slice_elems + ranks[k + 1] * q + out_elems
+        gemms += 1
+        q *= col[k]
+    return flops, traffic * itemsize, gemms, q
+
+
+def schedule_cost(shape: TTShape, kind: str, split: int | None = None,
+                  itemsize: int = 8) -> Schedule:
+    """Exact per-row FLOP/bytes model for one contraction order."""
+    d = shape.d
+    if kind == "l2r":
+        flops, nbytes, gemms, _ = _partial_l2r(shape, itemsize, 0, d)
+        return Schedule("l2r", None, flops, nbytes, gemms)
+    if kind == "r2l":
+        flops, nbytes, gemms, _ = _partial_r2l(shape, itemsize, 0, d)
+        return Schedule("r2l", None, flops, nbytes, gemms)
+    if kind == "split":
+        if split is None or not (1 <= split <= d - 1):
+            raise ValueError(f"split must be in [1, {d - 1}], got {split}")
+        lf, lb, lg, p_left = _partial_l2r(shape, itemsize, 0, split)
+        rf, rb, rg, q_right = _partial_r2l(shape, itemsize, split, d)
+        r_mid = shape.ranks[split]
+        # Combine: (P_left, R_split) @ (R_split, Q_right) -> the row.
+        flops = lf + rf + 2 * p_left * r_mid * q_right
+        nbytes = lb + rb + itemsize * (
+            p_left * r_mid + r_mid * q_right + p_left * q_right
+        )
+        return Schedule("split", split, flops, nbytes, lg + rg + 1)
+    raise ValueError(f"unknown schedule kind {kind!r}")
+
+
+def candidate_schedules(shape: TTShape, itemsize: int = 8) -> list[Schedule]:
+    """Every contraction order the planner considers, ``l2r`` first.
+
+    Ordering matters: ``auto`` selection breaks cost ties in list order,
+    preferring the simplest schedule (``l2r``, then ``r2l``, then splits).
+    """
+    cands = [schedule_cost(shape, "l2r", itemsize=itemsize),
+             schedule_cost(shape, "r2l", itemsize=itemsize)]
+    for s in range(1, shape.d):
+        cands.append(schedule_cost(shape, "split", s, itemsize=itemsize))
+    return cands
+
+
+def _bucket(n: int) -> int:
+    """Round up to the next power of two (minimum 1)."""
+    return 1 << max(0, int(n - 1).bit_length()) if n > 1 else 1
+
+
+class BufferPool:
+    """Reusable scratch buffers for chain intermediates.
+
+    Each logical stage asks for ``take(key, shape, dtype)`` and receives a
+    C-contiguous view of a flat buffer whose capacity is rounded up to the
+    next power of two, so steady-state steps of a bucketed batch size
+    allocate nothing. Views are only valid until the same key is taken
+    with a larger size — callers must not hold them across pooled calls.
+    """
+
+    def __init__(self):
+        self._bufs: dict = {}
+
+    def take(self, key, shape: tuple[int, ...], dtype) -> np.ndarray:
+        size = math.prod(shape)
+        dtype = np.dtype(dtype)
+        buf = self._bufs.get(key)
+        if buf is None or buf.size < size or buf.dtype != dtype:
+            buf = np.empty(_bucket(size), dtype=dtype)
+            self._bufs[key] = buf
+        return buf[:size].reshape(shape)
+
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._bufs.values())
+
+    def clear(self) -> None:
+        self._bufs.clear()
+
+
+class ExecutionPlanner:
+    """Per-module planner: schedule choice, dedup, pooled execution.
+
+    Parameters
+    ----------
+    shape:
+        The :class:`TTShape` all plans are made for.
+    policy:
+        ``"auto"`` picks the cheapest schedule per batch-size bucket;
+        ``"fixed"``/``"l2r"`` pins left-to-right (the pre-planner
+        behaviour); ``"r2l"`` pins right-to-left; ``"split:k"`` pins the
+        two-sided sweep meeting at core ``k``. Any forward that must
+        produce left partials for Algorithm 2 uses ``l2r`` regardless.
+    itemsize:
+        Element size (bytes) used by the traffic model.
+    """
+
+    def __init__(self, shape: TTShape, policy: str = "auto", itemsize: int = 8):
+        self.shape = shape
+        self.itemsize = int(itemsize)
+        self.candidates = candidate_schedules(shape, self.itemsize)
+        self._l2r = self.candidates[0]
+        self._forced: Schedule | None = None
+        policy = str(policy)
+        if policy == "auto":
+            pass
+        elif policy in ("fixed", "l2r"):
+            self._forced = self._l2r
+        elif policy == "r2l":
+            self._forced = self.candidates[1]
+        elif policy.startswith("split:"):
+            split = int(policy.split(":", 1)[1])
+            self._forced = schedule_cost(shape, "split", split, self.itemsize)
+        else:
+            raise ValueError(
+                f"unknown plan policy {policy!r}; expected 'auto', 'fixed', "
+                "'l2r', 'r2l' or 'split:<k>'"
+            )
+        self.policy = policy
+        self.pool = BufferPool()
+        self._memo: dict[tuple[int, bool], Schedule] = {}
+        reg = get_registry()
+        self._counters = {
+            key: reg.counter(f"tt.plan.{key}")
+            for key in ("flops_saved", "flops_planned", "flops_executed",
+                        "dedup_removed", "memo_hits", "memo_misses")
+        }
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+
+    def schedule_for(self, n: int, *, need_lefts: bool = False) -> Schedule:
+        """Cheapest legal schedule for an ``n``-row batch (memoized).
+
+        Memoized per ``(batch-size bucket, need_lefts)``: buffer
+        capacities are bucket-sized and :meth:`Schedule.cost` may weigh
+        batch size, so the bucket is part of the plan identity.
+        """
+        key = (_bucket(n), bool(need_lefts))
+        hit = self._memo.get(key)
+        if hit is not None:
+            self._counters["memo_hits"].inc()
+            return hit
+        self._counters["memo_misses"].inc()
+        if need_lefts:
+            # Algorithm 2 consumes left partial products; only l2r makes them.
+            chosen = self._l2r
+        elif self._forced is not None:
+            chosen = self._forced
+        else:
+            chosen = min(self.candidates, key=lambda s: s.cost(key[0]))
+        self._memo[key] = chosen
+        return chosen
+
+    def plan_batch(self, indices: np.ndarray, *, dedup: bool,
+                   need_lefts: bool) -> BatchPlan:
+        """Build the shared per-batch plan: schedule + one dedup pass."""
+        indices = np.asarray(indices, dtype=np.int64)
+        n = int(indices.size)
+        schedule = self.schedule_for(n, need_lefts=need_lefts)
+        with trace("tt.plan", schedule=schedule.label,
+                   dedup="on" if dedup else "off"):
+            if dedup and n:
+                uniq, inverse = np.unique(indices, return_inverse=True)
+                inverse = inverse.reshape(-1)
+                if uniq.size == n:
+                    uniq, inverse = indices, None
+            else:
+                uniq, inverse = indices, None
+            decoded = self.shape.decode_indices(uniq)
+        n_unique = int(decoded.shape[1])
+        baseline = n * self._l2r.flops_per_row
+        planned = n_unique * schedule.flops_per_row
+        if n:
+            self._counters["flops_planned"].inc(planned)
+            self._counters["flops_saved"].inc(max(0, baseline - planned))
+            self._counters["dedup_removed"].inc(n - n_unique)
+        return BatchPlan(schedule, n, n_unique, decoded, inverse,
+                         planned, baseline)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def execute(self, schedule: Schedule, decoded: np.ndarray,
+                cores: list[np.ndarray], *, keep_lefts: bool = False,
+                pooled: bool = False) -> tuple[np.ndarray, list[np.ndarray] | None]:
+        """Contract the chain over pre-gathered per-core indices.
+
+        ``cores`` are the raw core arrays (mode-first layout). Returns
+        ``(rows, lefts)`` where ``lefts`` is ``None`` unless
+        ``keep_lefts``. Pooled outputs are views into :attr:`pool` and are
+        clobbered by the next pooled call.
+        """
+        dtype = cores[0].dtype
+
+        def gather(k: int) -> np.ndarray:
+            core = cores[k]
+            idx = decoded[k]
+            if pooled:
+                buf = self.pool.take(("gather", k),
+                                     (idx.size,) + core.shape[1:], core.dtype)
+                return np.take(core, idx, axis=0, out=buf)
+            return core[idx]
+
+        return self.execute_chain(schedule, gather, decoded.shape[1], dtype,
+                                  keep_lefts=keep_lefts, pooled=pooled)
+
+    def execute_chain(self, schedule: Schedule, gather, n: int, dtype, *,
+                      keep_lefts: bool = False, pooled: bool = False
+                      ) -> tuple[np.ndarray, list[np.ndarray] | None]:
+        """Like :meth:`execute` but with a caller-supplied ``gather(k)``
+        (the grouped kernel concatenates slices across tables)."""
+        if keep_lefts and schedule.kind != "l2r":
+            raise ValueError(
+                f"left partials require the l2r schedule, got {schedule.label}"
+            )
+        if n == 0:
+            rows = np.zeros((0, self.shape.dim), dtype=dtype)
+            return rows, ([] if keep_lefts else None)
+        if schedule.kind == "l2r":
+            rows, lefts = self._run_l2r(gather, n, dtype, keep_lefts, pooled)
+        elif schedule.kind == "r2l":
+            rows, lefts = self._run_r2l(gather, n, dtype, pooled), None
+        else:
+            rows, lefts = self._run_split(gather, n, dtype, schedule.split,
+                                          pooled), None
+        self._counters["flops_executed"].inc(n * schedule.flops_per_row)
+        return rows, lefts
+
+    # -- schedule bodies ------------------------------------------------ #
+
+    def _run_l2r(self, gather, n: int, dtype, keep_lefts: bool, pooled: bool):
+        col, ranks, d = self.shape.col_factors, self.shape.ranks, self.shape.d
+        with trace("tt.forward.gather", core=0):
+            first = gather(0)  # (n, 1, n_1, R_1)
+        res = first.reshape(n, col[0], ranks[1])
+        lefts = [res] if keep_lefts else None
+        p = col[0]
+        for k in range(1, d):
+            with trace("tt.forward.gather", core=k):
+                core = gather(k)  # (n, R_{k-1}, n_k, R_k)
+            r_prev, r_next, nk = ranks[k], ranks[k + 1], col[k]
+            with trace("tt.forward.gemm", core=k):
+                rhs = core.reshape(n, r_prev, nk * r_next)
+                if pooled:
+                    out = self.pool.take(("l2r", k), (n, p, nk * r_next), dtype)
+                    res = np.matmul(res, rhs, out=out)
+                else:
+                    res = np.matmul(res, rhs)
+            p *= nk
+            res = res.reshape(n, p, r_next)
+            if keep_lefts:
+                lefts.append(res)
+        return res.reshape(n, self.shape.dim), lefts
+
+    def _run_r2l(self, gather, n: int, dtype, pooled: bool):
+        col, ranks, d = self.shape.col_factors, self.shape.ranks, self.shape.d
+        with trace("tt.forward.gather", core=d - 1):
+            last = gather(d - 1)  # (n, R_{d-1}, n_d, 1)
+        res = last.reshape(n, ranks[d - 1], col[d - 1])
+        q = col[d - 1]
+        for k in range(d - 2, -1, -1):
+            with trace("tt.forward.gather", core=k):
+                core = gather(k)
+            r_prev, r_next, nk = ranks[k], ranks[k + 1], col[k]
+            with trace("tt.forward.gemm", core=k):
+                lhs = core.reshape(n, r_prev * nk, r_next)
+                if pooled:
+                    out = self.pool.take(("r2l", k), (n, r_prev * nk, q), dtype)
+                    res = np.matmul(lhs, res, out=out)
+                else:
+                    res = np.matmul(lhs, res)
+            q *= nk
+            res = res.reshape(n, r_prev, q)
+        return res.reshape(n, self.shape.dim)
+
+    def _run_split(self, gather, n: int, dtype, split: int, pooled: bool):
+        col, ranks, d = self.shape.col_factors, self.shape.ranks, self.shape.d
+        # Left sweep over cores 0..split-1 (plain l2r, shorter chain).
+        with trace("tt.forward.gather", core=0):
+            first = gather(0)
+        left = first.reshape(n, col[0], ranks[1])
+        p = col[0]
+        for k in range(1, split):
+            with trace("tt.forward.gather", core=k):
+                core = gather(k)
+            r_prev, r_next, nk = ranks[k], ranks[k + 1], col[k]
+            with trace("tt.forward.gemm", core=k):
+                rhs = core.reshape(n, r_prev, nk * r_next)
+                if pooled:
+                    out = self.pool.take(("sl", k), (n, p, nk * r_next), dtype)
+                    left = np.matmul(left, rhs, out=out)
+                else:
+                    left = np.matmul(left, rhs)
+            p *= nk
+            left = left.reshape(n, p, r_next)
+        # Right sweep over cores split..d-1.
+        with trace("tt.forward.gather", core=d - 1):
+            last = gather(d - 1)
+        right = last.reshape(n, ranks[d - 1], col[d - 1])
+        q = col[d - 1]
+        for k in range(d - 2, split - 1, -1):
+            with trace("tt.forward.gather", core=k):
+                core = gather(k)
+            r_prev, r_next, nk = ranks[k], ranks[k + 1], col[k]
+            with trace("tt.forward.gemm", core=k):
+                lhs = core.reshape(n, r_prev * nk, r_next)
+                if pooled:
+                    out = self.pool.take(("sr", k), (n, r_prev * nk, q), dtype)
+                    right = np.matmul(lhs, right, out=out)
+                else:
+                    right = np.matmul(lhs, right)
+            q *= nk
+            right = right.reshape(n, r_prev, q)
+        # Combine: (n, P_left, R_split) @ (n, R_split, Q_right).
+        with trace("tt.forward.combine", split=split):
+            if pooled:
+                out = self.pool.take(("combine",), (n, p, q), dtype)
+                res = np.matmul(left, right, out=out)
+            else:
+                res = np.matmul(left, right)
+        return res.reshape(n, self.shape.dim)

@@ -124,12 +124,15 @@ class T3nsorEmbeddingBag(Module):
         mathematically the adjoint of :func:`tt_full_tensor`.
         """
         from repro.tt.embedding_bag import TTEmbeddingBag
+        from repro.tt.planner import ExecutionPlanner
 
         helper = TTEmbeddingBag.__new__(TTEmbeddingBag)
         helper.num_rows = self.shape.padded_rows
         helper.dim = self.dim
         helper.shape = self.shape
         helper.cores = self.cores
+        helper.planner = ExecutionPlanner(self.shape, "l2r",
+                                          itemsize=self.dtype.itemsize)
         all_rows = np.arange(self.shape.padded_rows, dtype=np.int64)
         decoded = self.shape.decode_indices(all_rows)
         _, lefts = helper._row_chain(decoded)

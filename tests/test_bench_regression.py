@@ -1,0 +1,117 @@
+"""Kernel-bench regression gate: schema validation, pass/fail, CLI exit."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import BENCH_SCHEMA, compare, load_bench, normalized_arms
+from repro.bench.regression import (
+    BASELINE_SCHEMA,
+    load_baseline,
+    main,
+    write_baseline,
+)
+
+
+def bench_doc(arms: dict[str, float]) -> dict:
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": "kernels",
+        "data": {
+            "reference_arm": "ref",
+            "arms": {name: {"ms_per_iter": ms, "norm_ms": ms / arms["ref"]}
+                     for name, ms in arms.items()},
+        },
+    }
+
+
+def baseline_doc(arms: dict[str, float]) -> dict:
+    return {"schema": BASELINE_SCHEMA, "reference_arm": "ref", "arms": arms}
+
+
+def test_normalized_arms():
+    doc = bench_doc({"ref": 2.0, "fast": 1.0, "slow": 8.0})
+    assert normalized_arms(doc) == {"ref": 1.0, "fast": 0.5, "slow": 4.0}
+
+
+def test_compare_passes_within_tolerance():
+    cur = bench_doc({"ref": 2.0, "a": 2.2})
+    base = baseline_doc({"ref": 1.0, "a": 1.0})
+    assert compare(cur, base, tolerance=0.20) == []  # 1.1 <= 1.0 * 1.2
+
+
+def test_compare_fails_on_regression():
+    cur = bench_doc({"ref": 2.0, "a": 2.6})  # norm 1.3 vs baseline 1.0
+    base = baseline_doc({"ref": 1.0, "a": 1.0})
+    failures = compare(cur, base, tolerance=0.20)
+    assert len(failures) == 1 and failures[0].startswith("a:")
+
+
+def test_compare_fails_on_missing_arm():
+    cur = bench_doc({"ref": 2.0})
+    base = baseline_doc({"ref": 1.0, "gone": 1.0})
+    failures = compare(cur, base)
+    assert any("gone" in f and "missing" in f for f in failures)
+
+
+def test_ungated_extra_arm_passes():
+    # New arms not yet in the baseline must not fail the gate.
+    cur = bench_doc({"ref": 2.0, "new_arm": 99.0})
+    base = baseline_doc({"ref": 1.0})
+    assert compare(cur, base) == []
+
+
+def test_load_rejects_bad_schema(tmp_path):
+    p = tmp_path / "bad.json"
+    p.write_text(json.dumps({"schema": "nope", "data": {}}))
+    with pytest.raises(ValueError, match="expected schema"):
+        load_bench(str(p))
+    with pytest.raises(ValueError, match="expected schema"):
+        load_baseline(str(p))
+    p.write_text(json.dumps({"schema": BENCH_SCHEMA, "data": {}}))
+    with pytest.raises(ValueError, match="no planner arms"):
+        load_bench(str(p))
+    p.write_text(json.dumps({
+        "schema": BENCH_SCHEMA,
+        "data": {"reference_arm": "missing",
+                 "arms": {"a": {"ms_per_iter": 1.0}}},
+    }))
+    with pytest.raises(ValueError, match="reference arm"):
+        load_bench(str(p))
+
+
+def test_main_exit_codes_and_write_baseline(tmp_path, capsys):
+    cur_path = tmp_path / "current.json"
+    cur_path.write_text(json.dumps(bench_doc({"ref": 2.0, "a": 3.0})))
+
+    base_path = tmp_path / "baseline.json"
+    assert main([str(cur_path), "--write-baseline", str(base_path)]) == 0
+    written = load_baseline(str(base_path))
+    assert written["arms"] == {"ref": 1.0, "a": 1.5}
+
+    # Round trip passes against its own baseline...
+    assert main([str(cur_path), str(base_path)]) == 0
+    assert "gate passed" in capsys.readouterr().out
+
+    # ...and a slowed-down run fails with exit 1.
+    slow_path = tmp_path / "slow.json"
+    slow_path.write_text(json.dumps(bench_doc({"ref": 2.0, "a": 4.0})))
+    assert main([str(slow_path), str(base_path), "--tolerance", "0.20"]) == 1
+    assert "REGRESSION" in capsys.readouterr().err
+
+
+def test_write_baseline_rounds(tmp_path):
+    path = tmp_path / "b.json"
+    write_baseline(bench_doc({"ref": 3.0, "a": 1.0}), str(path))
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == BASELINE_SCHEMA
+    assert doc["arms"]["a"] == round(1.0 / 3.0, 4)
+
+
+def test_committed_baseline_is_valid():
+    # The file the CI gate actually loads must always parse.
+    doc = load_baseline("benchmarks/baseline_kernels.json")
+    assert doc["reference_arm"] in doc["arms"]
+    assert doc["arms"][doc["reference_arm"]] == 1.0

@@ -143,6 +143,66 @@ class TestForwardBackward:
         with pytest.raises(RuntimeError):
             make().backward(np.ones((1, 8)))
 
+    def test_double_backward_raises(self):
+        """A second backward for one forward would silently double the
+        accumulated cache-row and core gradients; it must raise instead."""
+        emb = make(warmup_steps=1, cache_size=2)
+        emb.forward(np.array([3, 3, 4]))
+        emb.forward(np.array([3, 4]))  # warm: backward touches both paths
+        idx = np.array([3, 4, 20])
+        emb.zero_grad()
+        emb.forward(idx)
+        emb.backward(np.ones((3, 8)))
+        snapshot = [p.grad.copy() for p in emb.tt.cores]
+        snapshot.append(emb.cache_rows.grad.copy())
+        with pytest.raises(RuntimeError, match="twice"):
+            emb.backward(np.ones((3, 8)))
+        after = [p.grad for p in emb.tt.cores] + [emb.cache_rows.grad]
+        for g, s in zip(after, snapshot):
+            assert np.array_equal(g, s)  # nothing accumulated by the raise
+        # forward -> backward works again afterwards.
+        emb.forward(idx)
+        emb.backward(np.ones((3, 8)))
+
+    def test_cache_grad_scatter_matches_add_at(self):
+        """Duplicate-heavy hit batch: scatter_add_rows on cache-row grads
+        must agree with the np.add.at oracle it replaced."""
+        rng = np.random.default_rng(13)
+        emb = make(warmup_steps=1, cache_size=4)
+        emb.forward(np.array([1, 1, 2, 2, 3, 3]))
+        emb.forward(np.array([1, 2, 3]))
+        assert emb.is_warm
+        # 30 lookups over 3 hot rows plus a few misses: heavy duplication.
+        idx = np.concatenate([rng.choice([1, 2, 3], size=30),
+                              np.array([40, 41])]).astype(np.int64)
+        rng.shuffle(idx)
+        grad = rng.normal(size=(idx.size, 8))
+        emb.zero_grad()
+        emb.forward(idx)
+        emb.backward(grad)
+        mask, slots = emb._membership(idx)
+        expected = np.zeros_like(emb.cache_rows.grad)
+        np.add.at(expected, slots, grad[mask])
+        np.testing.assert_allclose(emb.cache_rows.grad, expected, atol=1e-12)
+
+    def test_validated_read_serves_repaired_row(self):
+        """Validation and serving must use the same gather: a row poisoned
+        before forward is repaired AND the repaired value is what lands in
+        the output (not a stale pre-scrub copy)."""
+        emb = make(warmup_steps=1, cache_size=2)
+        emb.forward(np.array([5, 5, 6]))
+        emb.forward(np.array([5, 6]))
+        assert emb.is_warm
+        emb.validate_reads = True
+        mask, slots = emb._membership(np.array([5]))
+        assert mask[0]
+        emb.cache_rows.data[slots[0]] = np.nan
+        out = emb.forward(np.array([5]))
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out[0], emb.tt.lookup(np.array([5]))[0],
+                                   atol=1e-12)
+        assert emb.repaired_rows == 1
+
 
 class TestConfigValidation:
     def test_cache_fraction_default_paper_value(self):
@@ -205,6 +265,37 @@ class TestStats:
         # Counting resumes cleanly after the reset.
         emb.forward(np.array([3]))
         assert emb.stats()["lookups"] == 1
+
+    def test_extra_state_round_trips_every_counter(self):
+        """Regression: load_extra_state used to drop misses/insertions/
+        evictions/refreshes, breaking ``lookups == hits + misses`` (and the
+        Fig. 10/12 instrumentation) after a checkpoint resume."""
+        emb = make(warmup_steps=1, cache_size=2, refresh_interval=2)
+        for _ in range(5):
+            emb.forward(np.array([3, 3, 4, 9]))
+        s = emb.stats()
+        assert s["misses"] > 0 and s["insertions"] > 0 and s["refreshes"] > 0
+
+        fresh = make(warmup_steps=1, cache_size=2, refresh_interval=2)
+        fresh.load_extra_state(emb.extra_state())
+        rs = fresh.stats()
+        for key in ("lookups", "hits", "misses", "repairs",
+                    "insertions", "evictions", "refreshes"):
+            assert rs[key] == s[key], key
+        assert rs["lookups"] == rs["hits"] + rs["misses"] > 0
+
+    def test_load_extra_state_tolerates_old_checkpoints(self):
+        """Checkpoints written before all counters were persisted restore
+        what they have and zero the rest (no KeyError)."""
+        emb = make(warmup_steps=1, cache_size=2)
+        emb.forward(np.array([3, 3, 4]))
+        state = emb.extra_state()
+        for key in ("misses", "insertions", "evictions", "refreshes"):
+            state.pop(key)
+        fresh = make(warmup_steps=1, cache_size=2)
+        fresh.load_extra_state(state)
+        s = fresh.stats()
+        assert s["lookups"] == 3 and s["misses"] == 0
 
     def test_legacy_counter_shims(self):
         """The pre-registry attribute API still reads and writes."""

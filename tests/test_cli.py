@@ -38,6 +38,22 @@ class TestCommands:
         with pytest.raises(ValueError):
             main(["plan", "--budget-mb", "0.001"])
 
+    def test_plan_kernel(self, capsys):
+        assert main(["plan", "--kernel", "--rows", "5000", "--batch", "512",
+                     "--zipf", "1.2", "--iters", "3", "--d", "4",
+                     "--rank", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule" in out
+        assert "chosen" in out
+        assert "predicted" in out and "measured" in out
+        assert "dedup removed" in out
+
+    def test_plan_kernel_fixed_policy_no_dedup(self, capsys):
+        assert main(["plan", "--kernel", "--rows", "2000", "--batch", "64",
+                     "--iters", "2", "--policy", "l2r", "--no-dedup"]) == 0
+        out = capsys.readouterr().out
+        assert "l2r" in out
+
     def test_locality(self, capsys):
         assert main(["locality", "--rows", "2000", "--accesses", "20000",
                      "--k", "50"]) == 0

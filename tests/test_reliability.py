@@ -260,6 +260,41 @@ class TestKillResume:
                     np.testing.assert_array_equal(np.asarray(ea[key]),
                                                   np.asarray(ec[key]))
 
+    def test_resume_preserves_cache_stats_invariant(self, tmp_path):
+        """Regression: resume used to drop the misses/insertions/evictions/
+        refreshes counters, so a resumed run violated the accounting
+        invariant ``lookups == hits + misses`` that the Fig. 10/12
+        instrumentation reads."""
+        from repro.cache import CachedTTEmbeddingBag
+
+        def fresh():
+            model = tiny_model(rng=3)
+            return model, Trainer(model,
+                                  optimizer=Adagrad(model.parameters(), lr=0.05))
+
+        model_a, tr_a = fresh()
+        tr_a.train(tiny_stream(seed=11).batches(32, 60))
+
+        model_b, tr_b = fresh()
+        tr_b.train(tiny_stream(seed=11).batches(32, 47),
+                   checkpoint_every=30, checkpoint_dir=tmp_path)
+        model_c, tr_c = fresh()
+        tr_c.train(tiny_stream(seed=11).batches(32, 60),
+                   checkpoint_every=30, checkpoint_dir=tmp_path,
+                   resume_from=tmp_path)
+
+        cached = [(name, m) for name, m in named_modules(model_c)
+                  if isinstance(m, CachedTTEmbeddingBag)]
+        assert cached  # the model under test must actually exercise this
+        by_name = dict(named_modules(model_a))
+        for name, mod in cached:
+            s = mod.stats()
+            assert s["lookups"] == s["hits"] + s["misses"] > 0, name
+            ref = by_name[name].stats()
+            for key in ("lookups", "hits", "misses", "repairs",
+                        "insertions", "evictions", "refreshes"):
+                assert s[key] == ref[key], (name, key)
+
     def test_checkpoint_every_requires_dir(self):
         model = tiny_model(cache=False)
         with pytest.raises(ValueError, match="checkpoint_dir"):

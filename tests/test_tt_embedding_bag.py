@@ -127,6 +127,20 @@ class TestBackward:
         with pytest.raises(RuntimeError):
             emb.backward(np.ones((1, 8)))
 
+    def test_double_backward_raises(self, emb):
+        """A second backward for one forward would silently double-count
+        core gradients; it must raise and leave grads untouched."""
+        emb.forward(np.array([1, 2]), np.array([0, 2]))
+        emb.backward(np.ones((1, 8)))
+        snapshot = [p.grad.copy() for p in emb.cores]
+        with pytest.raises(RuntimeError, match="twice"):
+            emb.backward(np.ones((1, 8)))
+        for p, s in zip(emb.cores, snapshot):
+            assert np.array_equal(p.grad, s)
+        # A new forward re-arms backward.
+        emb.forward(np.array([1]), np.array([0, 1]))
+        emb.backward(np.ones((1, 8)))
+
     def test_duplicate_index_gradient_accumulates(self, emb):
         idx = np.array([5, 5])
         emb.forward(idx, np.array([0, 2]))
