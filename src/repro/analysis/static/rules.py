@@ -215,6 +215,77 @@ class WallClockRule(Rule):
         return out
 
 
+_ENTROPY_CALLS = {
+    "os.urandom": "os.urandom",
+    "uuid.uuid1": "uuid.uuid1",
+    "uuid.uuid4": "uuid.uuid4",
+    "secrets.token_bytes": "secrets.token_bytes",
+    "secrets.token_hex": "secrets.token_hex",
+    "secrets.token_urlsafe": "secrets.token_urlsafe",
+    "secrets.randbits": "secrets.randbits",
+    "secrets.randbelow": "secrets.randbelow",
+    "secrets.choice": "secrets.choice",
+}
+
+
+@register
+class ProcessEntropyRule(Rule):
+    """DET003: no ambient entropy / unsynchronized RNG in process scope.
+
+    The sharded tier simulates multiple processes against one seeded
+    fault stream; any draw from OS entropy (``os.urandom``, ``uuid4``,
+    ``secrets``), the process-global stdlib ``random`` stream, or an
+    unseeded ``default_rng()`` gives each "process" state the replay
+    cannot reconstruct, so chaos schedules stop being reproducible.
+    """
+
+    id = "DET003"
+    summary = "ambient entropy / unseeded RNG in process-replicated scope"
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if not path_matches(ctx.path, self.config.get("process_scope", [])):
+            return []
+        out = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.resolve(node.func)
+            if not name:
+                continue
+            if name in _ENTROPY_CALLS:
+                out.append(self.finding(
+                    ctx, node,
+                    f"{_ENTROPY_CALLS[name]}() draws ambient OS entropy; a "
+                    "simulated process must derive randomness from the "
+                    "shared seeded stream (repro.utils.seeding.as_rng or "
+                    "the run's FaultInjector) or replays diverge",
+                ))
+            elif name == "numpy.random.default_rng" \
+                    and not node.args and not node.keywords:
+                out.append(self.finding(
+                    ctx, node,
+                    "default_rng() without a seed gives every process its "
+                    "own OS-entropy stream; pass a seed or a spawned "
+                    "SeedSequence so cross-process draws are synchronized",
+                ))
+            elif name in ("random.Random", "random.SystemRandom"):
+                if name == "random.SystemRandom" or not node.args:
+                    out.append(self.finding(
+                        ctx, node,
+                        f"{name}() is OS-entropy-backed or unseeded; build "
+                        "process RNG state from a shared seed instead",
+                    ))
+            elif name.startswith("random.") and name.count(".") == 1:
+                leaf = name.rsplit(".", 1)[1]
+                out.append(self.finding(
+                    ctx, node,
+                    f"random.{leaf}() uses the process-global stdlib RNG, "
+                    "unsynchronized across simulated processes; thread a "
+                    "seeded numpy Generator instead",
+                ))
+        return out
+
+
 @register
 class SetIterationRule(Rule):
     """DET002: no iteration over sets (nondeterministic order)."""

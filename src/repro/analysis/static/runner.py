@@ -32,6 +32,7 @@ _DEFAULT_CONFIG = {
     "rng_allowed": ["repro/utils/seeding.py"],
     "clock_exempt": ["repro/bench"],
     "mutation_scope": ["repro/tt/kernels.py", "repro/cache"],
+    "process_scope": ["repro/sharding"],
     "exclude": ["__pycache__", ".git", "build", "dist", ".eggs"],
 }
 
@@ -44,6 +45,7 @@ class LintConfig:
     rng_allowed: list[str] = field(default_factory=lambda: list(_DEFAULT_CONFIG["rng_allowed"]))
     clock_exempt: list[str] = field(default_factory=lambda: list(_DEFAULT_CONFIG["clock_exempt"]))
     mutation_scope: list[str] = field(default_factory=lambda: list(_DEFAULT_CONFIG["mutation_scope"]))
+    process_scope: list[str] = field(default_factory=lambda: list(_DEFAULT_CONFIG["process_scope"]))
     exclude: list[str] = field(default_factory=lambda: list(_DEFAULT_CONFIG["exclude"]))
     select: list[str] = field(default_factory=list)
     ignore: list[str] = field(default_factory=list)
@@ -54,6 +56,7 @@ class LintConfig:
             "rng_allowed": self.rng_allowed,
             "clock_exempt": self.clock_exempt,
             "mutation_scope": self.mutation_scope,
+            "process_scope": self.process_scope,
         }
 
 

@@ -448,12 +448,24 @@ def _cmd_serve_bench(args) -> int:
                         rng=args.seed)
 
     injector = None
-    if args.fault_rate > 0:
+    if args.fault_rate > 0 or args.shard_fault_rate > 0:
         injector = FaultInjector(seed=args.fault_seed)
+    if args.fault_rate > 0:
         injector.register("serving.request", args.fault_rate, kind="nan")
         injector.register("serving.queue", args.fault_rate)
         injector.register("serving.backend", args.fault_rate, kind="nan",
                           max_elements=4)
+    if args.shard_fault_rate > 0:
+        if args.shards < 1:
+            print("error: --shard-fault-rate requires --shards N")
+            return 2
+        injector.register("shard.crash", args.shard_fault_rate / 4)
+        injector.register("shard.hang", args.shard_fault_rate / 4)
+        injector.register("shard.slow", args.shard_fault_rate)
+        injector.register("shard.net_drop", args.shard_fault_rate)
+
+    if args.shards > 0:
+        return _run_sharded_bench(args, model, injector)
 
     if args.events_jsonl:
         from repro.telemetry import install_sink
@@ -523,6 +535,129 @@ def _cmd_serve_bench(args) -> int:
           + ("zero non-finite outputs"
              + (", ledgers reconcile" if reconciled else "")
              if ok else "see mismatches above"))
+    if args.emit_json:
+        from repro.telemetry import write_snapshot
+
+        write_snapshot(args.emit_json, command="serve-bench",
+                       result={"report": report, "passed": ok})
+        print(f"wrote telemetry snapshot to {args.emit_json}")
+    return 0 if ok else 1
+
+
+def _run_sharded_bench(args, model, injector) -> int:
+    """``serve-bench --shards N``: the sharded-tier chaos drill.
+
+    Exit is non-zero on any non-finite output, an out-of-balance chaos
+    ledger (clean traffic only), or failover p99 above
+    ``--failover-p99-ms`` — the contract the ``serving-chaos`` CI job
+    relies on.
+    """
+    import json
+
+    from repro.inference import Predictor
+    from repro.serving import ManualClock, ServerConfig
+    from repro.sharding import (
+        ShardConfig,
+        ShardRouter,
+        parse_kill_spec,
+        run_sharded_load,
+    )
+
+    kill_specs = [parse_kill_spec(s) for s in (args.kill_shard or [])]
+    if args.events_jsonl:
+        from repro.telemetry import install_sink
+
+        install_sink(args.events_jsonl)
+    try:
+        clock = ManualClock()
+        router = ShardRouter(
+            Predictor(model),
+            config=ServerConfig(
+                oov_policy=args.policy, max_depth=args.max_depth,
+                max_batch=args.max_batch,
+                default_deadline_ms=args.deadline_ms, cooldown=10,
+            ),
+            shard_config=ShardConfig(num_shards=args.shards),
+            injector=injector, clock=clock,
+        )
+        report = run_sharded_load(
+            router, num_requests=args.requests,
+            mean_interarrival_ms=args.interarrival_ms,
+            deadline_ms=args.deadline_ms, malformed=args.malformed,
+            seed=args.seed, clock=clock, kill_specs=kill_specs,
+        )
+    finally:
+        if args.events_jsonl:
+            from repro.telemetry import uninstall_sink
+
+            uninstall_sink()
+
+    lat = report["latency_ms"]
+    out = report["outcomes"]
+    kills = ", ".join(f"s{k.shard}@{k.at_ms:g}ms" for k in kill_specs) \
+        or "none"
+    print(f"serve-bench: {args.requests} requests across {args.shards} "
+          f"shards, deadline {args.deadline_ms:g} ms, kills: {kills}")
+    print(f"topology  : spread {report['stats']['topology']['spread']}, "
+          f"{len(report['stats']['topology']['slices'])} slices")
+    print(f"latency   : p50 {lat['p50']:.2f} ms  p99 {lat['p99']:.2f} ms  "
+          f"max {lat['max']:.2f} ms")
+    print(f"outcomes  : served {report['served']}  queued {out['queued']}  "
+          f"rejected {out['rejected']}  shed {out['shed']} "
+          f"(+{report['shed']['deadline']} at deadline)  "
+          f"shed rate {report['shed_rate']:.1%}")
+    fo = report["failover_ms"]
+    print(f"failover  : {report['failovers']} failovers  "
+          f"replica hits {report['replica_hits']}  prior fills "
+          f"{report['prior_fills']}  latency mean {fo['mean']:.2f} ms  "
+          f"p99 {fo['p99']:.2f} ms")
+    for s in report["per_shard"]:
+        print(f"  shard {s['shard']}: {s['state']:9s} "
+              f"dispatches {s['dispatches']:<5d} "
+              f"p99 {s['p99_ms']:6.2f} ms  hb {s['heartbeats']:<4d} "
+              f"crash {s['crashes']} hang {s['hangs']} slow {s['slows']} "
+              f"drop {s['net_drops']} rewarmed {s['rewarmed_rows']}")
+    print(f"health    : {report['health']['status']}  shards up "
+          f"{report['health']['shards']['up']}/"
+          f"{report['health']['shards']['total']}  non-finite outputs "
+          f"{report['non_finite_outputs']}")
+
+    ok = report["non_finite_outputs"] == 0
+    recon = report["reconciliation"]
+    reconciled = recon["checked"] and args.malformed == 0
+    if reconciled:
+        ok = ok and recon["passed"]
+        print("reconcile :")
+        for name, check in recon["checks"].items():
+            print(f"  {name:28s} fired={check['fired']:<4d} "
+                  f"counted={check['counted']:<4d} "
+                  f"{'ok' if check['passed'] else 'MISMATCH'}")
+    elif recon["checked"]:
+        print("reconcile : skipped (malformed traffic mixes with injected "
+              "faults)")
+    if args.failover_p99_ms is not None:
+        within = fo["p99"] <= args.failover_p99_ms
+        ok = ok and within
+        print(f"threshold : failover p99 {fo['p99']:.2f} ms "
+              f"{'<=' if within else '>'} {args.failover_p99_ms:g} ms "
+              f"{'ok' if within else 'FAIL'}")
+    print(f"{'PASS' if ok else 'FAIL'}: "
+          + ("zero non-finite outputs"
+             + (", ledgers reconcile" if reconciled else "")
+             if ok else "see mismatches above"))
+    if args.per_shard_json:
+        with open(args.per_shard_json, "w") as fh:
+            json.dump({
+                "per_shard": report["per_shard"],
+                "failover_ms": report["failover_ms"],
+                "failovers": report["failovers"],
+                "replica_hits": report["replica_hits"],
+                "prior_fills": report["prior_fills"],
+                "reconciliation": recon,
+                "topology": report["stats"]["topology"],
+                "passed": ok,
+            }, fh, indent=2)
+        print(f"wrote per-shard report to {args.per_shard_json}")
     if args.emit_json:
         from repro.telemetry import write_snapshot
 
@@ -701,6 +836,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-rate", type=float, default=0.0,
                    help="per-probe probability at every serving.* site")
     p.add_argument("--fault-seed", type=int, default=123)
+    p.add_argument("--shards", type=int, default=0,
+                   help="run the sharded tier with N shard workers "
+                        "(0 = single-process server)")
+    p.add_argument("--kill-shard", action="append", default=None,
+                   metavar="SPEC",
+                   help="scheduled shard kill <shard>@<time>[ms|s], e.g. "
+                        "1@2s; repeatable (sharded mode)")
+    p.add_argument("--shard-fault-rate", type=float, default=0.0,
+                   help="per-probe probability at the shard.* chaos sites "
+                        "(sharded mode)")
+    p.add_argument("--failover-p99-ms", type=float, default=None,
+                   help="fail when failover p99 exceeds this many "
+                        "simulated ms (sharded mode)")
+    p.add_argument("--per-shard-json", default=None, metavar="PATH",
+                   help="write the per-shard JSON report (sharded mode)")
     p.add_argument("--emit-json", default=None, metavar="PATH",
                    help="write a repro.telemetry/v1 snapshot JSON")
     p.add_argument("--events-jsonl", default=None, metavar="PATH",

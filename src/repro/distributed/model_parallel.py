@@ -40,21 +40,58 @@ from repro.ops.optim import SparseSGD
 __all__ = ["ShardedEmbeddingDLRM", "assign_tables"]
 
 
-def assign_tables(table_sizes: tuple[int, ...], world_size: int) -> list[int]:
-    """Greedy balanced assignment: table index -> owning worker.
+def assign_tables(table_sizes: tuple[int, ...], world_size: int, *,
+                  refine: bool = True) -> list[int]:
+    """Balanced assignment: table index -> owning worker.
 
-    Largest tables first onto the least-loaded worker — the standard
-    capacity-driven sharding for DLRM embedding tables.
+    Longest-processing-time (LPT) greedy: tables are placed largest first
+    onto the least-loaded worker, with deterministic tie-breaking (equal
+    sizes in table-index order, equal loads to the lowest worker id).
+    LPT alone guarantees ``max_load - min_load <= max(table_sizes)``; on
+    skewed DLRM size distributions (one giant table plus a long tail)
+    that residual can still be the whole giant table, so a local-search
+    refinement pass then moves single tables off the most-loaded worker
+    whenever doing so strictly shrinks the max/min spread. The result is
+    the capacity-driven sharding both :class:`ShardedEmbeddingDLRM` and
+    the serving tier's :mod:`repro.sharding` topology use.
     """
     if world_size < 1:
         raise ValueError(f"world_size must be >= 1, got {world_size}")
     owner = [0] * len(table_sizes)
     load = [0] * world_size
-    for t in sorted(range(len(table_sizes)), key=lambda i: -table_sizes[i]):
-        w = min(range(world_size), key=lambda i: load[i])
+    # LPT order: size descending, table index ascending on ties.
+    for t in sorted(range(len(table_sizes)),
+                    key=lambda i: (-table_sizes[i], i)):
+        w = min(range(world_size), key=lambda i: (load[i], i))
         owner[t] = w
         load[w] += table_sizes[t]
-    return owner
+    if not refine or world_size == 1 or not table_sizes:
+        return owner
+    # Local search: move one table from the heaviest to the lightest
+    # worker while it strictly reduces the spread. Each accepted move
+    # shrinks (max - min), so the loop terminates.
+    while True:
+        hi = max(range(world_size), key=lambda i: (load[i], -i))
+        lo = min(range(world_size), key=lambda i: (load[i], i))
+        spread = load[hi] - load[lo]
+        if spread <= 0:
+            return owner
+        best_t, best_spread = None, spread
+        for t in sorted(range(len(table_sizes))):
+            if owner[t] != hi:
+                continue
+            size = table_sizes[t]
+            moved = max(load[hi] - size, load[lo] + size)
+            others = [load[w] for w in range(world_size) if w not in (hi, lo)]
+            new_max = max([moved, *others])
+            new_min = min([min(load[hi] - size, load[lo] + size), *others])
+            if new_max - new_min < best_spread:
+                best_t, best_spread = t, new_max - new_min
+        if best_t is None:
+            return owner
+        load[hi] -= table_sizes[best_t]
+        load[lo] += table_sizes[best_t]
+        owner[best_t] = lo
 
 
 class _Tower:

@@ -26,7 +26,12 @@ from repro.serving.admission import (
 from repro.serving.breaker import CircuitBreaker
 from repro.serving.loadgen import reconcile, run_load
 from repro.serving.queue import ManualClock, MicroBatchQueue
-from repro.serving.server import InferenceServer, ServerConfig, TableLadder
+from repro.serving.server import (
+    InferenceServer,
+    ServerConfig,
+    TableLadder,
+    frequency_prior_row,
+)
 
 __all__ = [
     "Request",
@@ -40,6 +45,7 @@ __all__ = [
     "InferenceServer",
     "ServerConfig",
     "TableLadder",
+    "frequency_prior_row",
     "run_load",
     "reconcile",
 ]

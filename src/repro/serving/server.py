@@ -40,7 +40,8 @@ from repro.serving.breaker import CircuitBreaker
 from repro.serving.queue import MicroBatchQueue, monotonic_ms
 from repro.telemetry import emit_event, get_registry, trace
 
-__all__ = ["ServerConfig", "InferenceServer", "Rung", "TableLadder"]
+__all__ = ["ServerConfig", "InferenceServer", "Rung", "TableLadder",
+           "frequency_prior_row"]
 
 # A pooled embedding magnitude beyond this is treated as corruption even
 # though it is finite (catches "scale"-kind faults before the towers
@@ -174,7 +175,7 @@ class TableLadder:
         return self._scrubs.value
 
 
-def _frequency_prior_row(emb, dim: int) -> np.ndarray:
+def frequency_prior_row(emb, dim: int) -> np.ndarray:
     """Default row for one table: a frequency-weighted mean embedding.
 
     With a :class:`~repro.cache.lfu.LFUTracker` attached (the cached TT
@@ -281,7 +282,7 @@ class InferenceServer:
             rungs.append(Rung("tt_direct", tt.forward,
                               self._breaker(table, "tt_direct")))
         mode = getattr(emb, "mode", "sum")
-        default_row = _frequency_prior_row(emb, self.predictor.config.emb_dim)
+        default_row = frequency_prior_row(emb, self.predictor.config.emb_dim)
         return TableLadder(table, rungs, default_row, mode,
                            scrub=getattr(emb, "scrub", None),
                            injector=self.injector)
@@ -408,7 +409,13 @@ class InferenceServer:
         return {"ready": bool(self._ready and self.ladders)}
 
     def stats(self) -> dict:
-        """Every serving counter, reconciliation-ready (serve-bench)."""
+        """Every serving counter, reconciliation-ready (serve-bench).
+
+        Degradation is attributed per table, not just in aggregate: the
+        ``fallbacks``/``backend_failures_by_table``/``scrubs_by_table``
+        breakdowns let a shard roll-up (docs/SERVING.md, sharding) point
+        at the table whose ladder is degrading rather than a lump sum.
+        """
         lat = self._latency
         return {
             "requests": self._requests.value,
@@ -421,7 +428,15 @@ class InferenceServer:
             },
             "backend_failures": sum(lad.backend_failures
                                     for lad in self.ladders),
+            "backend_failures_by_table": {
+                str(lad.table): lad.backend_failures for lad in self.ladders
+                if lad.backend_failures
+            },
             "scrubbed_rows": sum(lad.scrubbed_rows for lad in self.ladders),
+            "scrubs_by_table": {
+                str(lad.table): lad.scrubbed_rows for lad in self.ladders
+                if lad.scrubbed_rows
+            },
             "final_guard": self._final_guard.value,
             "breaker_transitions": self.breaker_transitions(),
             "latency_ms": lat.summary(),

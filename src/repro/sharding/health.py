@@ -1,0 +1,166 @@
+"""The global health plane: heartbeat tracking across all shards.
+
+One :class:`HealthPlane` instance watches every
+:class:`~repro.sharding.worker.ShardWorker` through periodic heartbeat
+probes on the router's deterministic clock. A shard that misses
+``miss_threshold`` consecutive probes is **marked down** — so the
+detection window is bounded by ``miss_threshold × heartbeat_interval_ms``
+of simulated time, an invariant the chaos tests assert. The router also
+*fail-fast* marks a shard on a dispatch failure (crash/timeout), which
+is why measured failover latency is usually far below the heartbeat
+window: the health plane is the backstop for silent deaths (``shard.hang``
+with no traffic), not the primary detector.
+
+The plane only tracks and reports; the routing decisions (replica
+failover, prior-row degradation, restart scheduling) belong to
+:class:`~repro.sharding.router.ShardRouter`.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry import emit_event, get_registry
+
+__all__ = ["HealthPlane"]
+
+
+class HealthPlane:
+    """Heartbeat bookkeeping and up/down verdicts for the shard fleet.
+
+    Parameters
+    ----------
+    num_shards:
+        Fleet size.
+    heartbeat_interval_ms:
+        Simulated milliseconds between probe rounds.
+    miss_threshold:
+        Consecutive missed probes before a shard is marked down.
+    """
+
+    def __init__(self, num_shards: int, *,
+                 heartbeat_interval_ms: float = 50.0,
+                 miss_threshold: int = 3):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if miss_threshold < 1:
+            raise ValueError(
+                f"miss_threshold must be >= 1, got {miss_threshold}"
+            )
+        if heartbeat_interval_ms <= 0:
+            raise ValueError("heartbeat_interval_ms must be > 0")
+        self.num_shards = num_shards
+        self.heartbeat_interval_ms = heartbeat_interval_ms
+        self.miss_threshold = miss_threshold
+        self.verdict = ["up"] * num_shards        # up | down | rewarming
+        self.misses = [0] * num_shards            # consecutive misses
+        self.last_seen = [0.0] * num_shards       # last heartbeat reply (ms)
+        self.marked_down_at = [None] * num_shards
+        self._next_probe_ms = 0.0
+        reg = get_registry()
+        self._probe_rounds = reg.counter("shard.heartbeat_rounds")
+        self._miss_counters = [
+            reg.counter("shard.heartbeat_misses", shard=str(s))
+            for s in range(num_shards)
+        ]
+        self._up_gauge = reg.gauge("shard.up")
+        self._up_gauge.set(num_shards)
+
+    # ------------------------------------------------------------------ #
+    # Detection window
+    # ------------------------------------------------------------------ #
+
+    @property
+    def detection_window_ms(self) -> float:
+        """Worst-case simulated time from silent death to marked-down."""
+        return self.miss_threshold * self.heartbeat_interval_ms
+
+    def due(self, now: float) -> bool:
+        return now >= self._next_probe_ms
+
+    def tick(self, now: float, workers) -> list[int]:
+        """Run one probe round if due; returns shards newly marked down."""
+        if not self.due(now):
+            return []
+        self._next_probe_ms = now + self.heartbeat_interval_ms
+        self._probe_rounds.inc()
+        newly_down = []
+        for s, worker in enumerate(workers):
+            reply = worker.heartbeat(now)
+            if reply is not None:
+                self.misses[s] = 0
+                self.last_seen[s] = now
+                state = reply["state"]
+                if state == "rewarming":
+                    self.verdict[s] = "rewarming"
+                elif self.verdict[s] != "up" and state == "up":
+                    # A heartbeat alone never readmits: the router drives
+                    # readmission through the re-warm protocol. Leave
+                    # non-up verdicts for mark_up().
+                    pass
+                continue
+            self.misses[s] += 1
+            self._miss_counters[s].inc()
+            if self.misses[s] >= self.miss_threshold \
+                    and self.verdict[s] == "up":
+                self._mark_down(s, now, reason="heartbeat")
+                newly_down.append(s)
+        return newly_down
+
+    # ------------------------------------------------------------------ #
+    # Verdicts
+    # ------------------------------------------------------------------ #
+
+    def _mark_down(self, shard: int, now: float, *, reason: str) -> None:
+        self.verdict[shard] = "down"
+        self.marked_down_at[shard] = now
+        self._up_gauge.set(sum(v == "up" for v in self.verdict))
+        emit_event("shard.marked_down", shard=shard, reason=reason,
+                   at_ms=now, misses=self.misses[shard])
+
+    def mark_down(self, shard: int, now: float, *,
+                  reason: str = "dispatch") -> bool:
+        """Fail-fast marking (router observed a dispatch failure).
+
+        Returns True when this call changed the verdict.
+        """
+        if self.verdict[shard] != "up":
+            return False
+        self._mark_down(shard, now, reason=reason)
+        return True
+
+    def mark_rewarming(self, shard: int) -> None:
+        self.verdict[shard] = "rewarming"
+
+    def mark_up(self, shard: int, now: float) -> None:
+        """Readmit a shard (router completed the re-warm protocol)."""
+        self.verdict[shard] = "up"
+        self.misses[shard] = 0
+        self.last_seen[shard] = now
+        self.marked_down_at[shard] = None
+        self._up_gauge.set(sum(v == "up" for v in self.verdict))
+        emit_event("shard.readmitted", shard=shard, at_ms=now)
+
+    def is_up(self, shard: int) -> bool:
+        return self.verdict[shard] == "up"
+
+    @property
+    def up_count(self) -> int:
+        return sum(v == "up" for v in self.verdict)
+
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict:
+        """The ``shards`` section of the global ``healthz`` document."""
+        return {
+            "up": self.up_count,
+            "total": self.num_shards,
+            "detection_window_ms": self.detection_window_ms,
+            "verdicts": {
+                str(s): {
+                    "verdict": self.verdict[s],
+                    "misses": self.misses[s],
+                    "last_seen_ms": self.last_seen[s],
+                    "marked_down_at_ms": self.marked_down_at[s],
+                }
+                for s in range(self.num_shards)
+            },
+        }

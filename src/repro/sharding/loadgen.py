@@ -1,0 +1,257 @@
+"""Closed-loop load + chaos driver for the sharded tier (``serve-bench``).
+
+Extends :mod:`repro.serving.loadgen` to a :class:`ShardRouter` fleet: the
+same burst-arrival/serve/advance loop on a :class:`ManualClock`, plus the
+control plane the sharded tier needs — ``router.tick()`` every iteration
+(fault probes, heartbeats, supervised recovery), scheduled shard kills
+parsed from ``--kill-shard`` specs, and periodic hot-row replica
+refresh/consistency audits.
+
+``reconcile_sharded`` balances the chaos ledgers: every ``shard.*``
+injector firing must surface in the matching defensive counter, mirrors
+must audit clean, and **no accepted request may vanish** — everything
+queued is either served or counted as a deadline shed. The drill CI runs
+(``serve-bench --shards 4 --kill-shard 1@2s``) fails the build when any
+ledger is out of balance or failover p99 exceeds its threshold.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.serving.loadgen import _make_request, _percentile
+from repro.serving.queue import ManualClock
+from repro.sharding.router import ShardRouter
+from repro.utils.seeding import as_rng
+
+__all__ = ["KillSpec", "parse_kill_spec", "run_sharded_load",
+           "reconcile_sharded"]
+
+_KILL_RE = re.compile(r"^(\d+)@(\d+(?:\.\d+)?)(ms|s)?$")
+
+
+class KillSpec:
+    """One scheduled shard kill: ``<shard>@<time>[ms|s]`` (ms default)."""
+
+    __slots__ = ("shard", "at_ms", "done")
+
+    def __init__(self, shard: int, at_ms: float):
+        if shard < 0:
+            raise ValueError(f"shard must be >= 0, got {shard}")
+        if at_ms < 0:
+            raise ValueError(f"kill time must be >= 0, got {at_ms}")
+        self.shard = shard
+        self.at_ms = at_ms
+        self.done = False
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"KillSpec(shard={self.shard}, at_ms={self.at_ms})"
+
+
+def parse_kill_spec(spec: str) -> KillSpec:
+    """Parse ``"1@2s"`` / ``"1@2000ms"`` / ``"1@2000"`` into a KillSpec."""
+    m = _KILL_RE.match(spec.strip())
+    if m is None:
+        raise ValueError(
+            f"bad --kill-shard spec {spec!r}: expected <shard>@<time>[ms|s]"
+        )
+    shard = int(m.group(1))
+    at = float(m.group(2))
+    if m.group(3) == "s":
+        at *= 1000.0
+    return KillSpec(shard, at)
+
+
+def reconcile_sharded(router: ShardRouter, outcomes: dict,
+                      served: int) -> dict:
+    """Balance the sharded tier's ledgers against its fault injector.
+
+    Beyond the PR-3 ``serving.*`` checks (which still apply and are run
+    by the caller through :func:`repro.serving.loadgen.reconcile`-style
+    logic), the shard sites must balance exactly, and the tier must not
+    lose accepted requests: ``queued == served + deadline sheds``.
+    """
+    stats = router.stats()
+    injector = router.injector
+    checks: dict[str, dict] = {}
+
+    def counter_sum(name: str) -> int:
+        return sum(w[name] for w in stats["workers"])
+
+    if injector is not None:
+        site_to_counter = {
+            "shard.crash": "crashes",
+            "shard.hang": "hangs",
+            "shard.slow": "slows",
+            "shard.net_drop": "net_drops",
+        }
+        for site, counter in site_to_counter.items():
+            checks[site] = {
+                "fired": injector.fired.get(site, 0),
+                "counted": counter_sum(counter),
+            }
+        checks["serving.backend"] = {
+            "fired": injector.fired.get("serving.backend", 0),
+            "counted": sum(w["ladders"][k]["backend_failures"]
+                           for w in stats["workers"]
+                           for k in w["ladders"]),
+        }
+        checks["serving.queue"] = {
+            "fired": injector.fired.get("serving.queue", 0),
+            "counted": stats["shed"]["fault"],
+        }
+        checks["serving.request"] = {
+            "fired": injector.fired.get("serving.request", 0),
+            "counted": stats["admission"]["rejected"].get(
+                "dense_non_finite", 0),
+        }
+    checks["no_lost_requests"] = {
+        "fired": outcomes.get("queued", 0),
+        "counted": served + stats["shed"]["deadline"],
+    }
+    checks["replica_mirrors_clean"] = {
+        "fired": 0,
+        "counted": sum(r["violations"] for r in stats["replicas"]),
+    }
+    for check in checks.values():
+        check["passed"] = check["fired"] == check["counted"]
+    return {
+        "checked": injector is not None,
+        "passed": all(c["passed"] for c in checks.values()),
+        "checks": checks,
+    }
+
+
+def run_sharded_load(router: ShardRouter, *, num_requests: int = 1000,
+                     mean_interarrival_ms: float = 1.0,
+                     deadline_ms: float | None = None,
+                     malformed: float = 0.0, seed: int = 0,
+                     clock: ManualClock | None = None,
+                     kill_specs: list[KillSpec] | None = None,
+                     refresh_every_ms: float = 500.0) -> dict:
+    """Drive the sharded tier; returns a JSON-ready per-shard report.
+
+    The loop is the PR-3 closed loop plus the control plane: after every
+    time advance the router ticks (probes shard faults, runs due
+    heartbeats, drives restart/re-warm), pending ``--kill-shard`` specs
+    fire when simulated time passes them, and replicas are re-warmed to
+    the observed hot head every ``refresh_every_ms``.
+    """
+    if clock is None:
+        clock = router.clock if isinstance(router.clock, ManualClock) \
+            else ManualClock()
+    if not (0.0 <= malformed <= 1.0):
+        raise ValueError(f"malformed must be in [0, 1], got {malformed}")
+    kill_specs = list(kill_specs or [])
+    for ks in kill_specs:
+        if ks.shard >= router.shard_config.num_shards:
+            raise ValueError(
+                f"--kill-shard targets shard {ks.shard} but the tier has "
+                f"{router.shard_config.num_shards} shards"
+            )
+    rng = as_rng(seed)
+    cfg = router.predictor.config
+    latencies: list[float] = []
+    outcomes = {"queued": 0, "rejected": 0, "shed": 0}
+    degraded_responses = 0
+    backpressured = 0
+    next_refresh = refresh_every_ms
+    sent = 0
+
+    def control_plane() -> None:
+        nonlocal next_refresh
+        now = clock.now()
+        for ks in kill_specs:
+            if not ks.done and now >= ks.at_ms:
+                router.kill_shard(ks.shard, now)
+                ks.done = True
+        router.tick(now)
+        if now >= next_refresh:
+            router.refresh_replicas()
+            router.check_replica_consistency()
+            next_refresh = now + refresh_every_ms
+
+    while sent < num_requests:
+        burst = int(rng.integers(1, max(2, router.config.max_batch)))
+        for _ in range(min(burst, num_requests - sent)):
+            gap = float(rng.exponential(mean_interarrival_ms))
+            if router.queue.should_backpressure():
+                backpressured += 1
+                gap *= 2.0
+            clock.advance(gap)
+            control_plane()
+            absolute = (clock.now() + deadline_ms
+                        if deadline_ms is not None else None)
+            req = _make_request(rng, cfg, sent, absolute,
+                                malformed=bool(rng.random() < malformed))
+            status = router.submit(req)
+            outcomes[status["status"]] += 1
+            sent += 1
+        for resp in router.step():
+            latencies.append(resp["latency_ms"])
+            degraded_responses += resp["degraded"]
+        clock.advance(router.queue.expected_service_ms)
+        control_plane()
+    # Drain with the control plane still running, so in-flight recovery
+    # (restart → re-warm → readmit) completes against the tail.
+    while router.queue.depth:
+        for resp in router.step():
+            latencies.append(resp["latency_ms"])
+            degraded_responses += resp["degraded"]
+        clock.advance(max(router.queue.expected_service_ms, 1.0))
+        control_plane()
+
+    stats = router.stats()
+    reconciliation = reconcile_sharded(router, outcomes, len(latencies))
+    per_shard = []
+    for w, worker in zip(stats["workers"], router.workers):
+        samples = worker.service_samples
+        per_shard.append({
+            "shard": w["shard"],
+            "state": w["state"],
+            "dispatches": w["dispatches"],
+            "p50_ms": _percentile(samples, 50),
+            "p99_ms": _percentile(samples, 99),
+            "heartbeats": w["heartbeats"],
+            "crashes": w["crashes"],
+            "hangs": w["hangs"],
+            "slows": w["slows"],
+            "net_drops": w["net_drops"],
+            "rewarmed_rows": w["rewarmed_rows"],
+        })
+    failover = stats["failover_ms"]
+    report = {
+        "requests": num_requests,
+        "served": len(latencies),
+        "outcomes": outcomes,
+        "latency_ms": {
+            "p50": _percentile(latencies, 50),
+            "p99": _percentile(latencies, 99),
+            "max": max(latencies) if latencies else 0.0,
+        },
+        "shed": stats["shed"],
+        "shed_rate": (outcomes["shed"] + stats["shed"]["deadline"])
+        / num_requests,
+        "degraded_responses": degraded_responses,
+        "backpressure_signals": backpressured,
+        "non_finite_outputs": stats["final_guard"],
+        "failovers": stats["failovers"],
+        "replica_hits": stats["replica_hits"],
+        "prior_fills": stats["prior_fills"],
+        "failover_ms": {
+            "count": failover["count"],
+            "mean": failover["mean"],
+            "p99": _percentile(router.failover_samples, 99),
+            "max": failover["max"] if failover["count"] else 0.0,
+        },
+        "per_shard": per_shard,
+        "health": router.healthz(),
+        "ready": router.readyz(),
+        "stats": stats,
+        "reconciliation": reconciliation,
+    }
+    if router.injector is not None:
+        report["injector"] = router.injector.counters()
+    return report

@@ -1,0 +1,16 @@
+"""Fixture: DET003 — ambient entropy / unseeded RNG in process scope."""
+import os
+import random
+import uuid
+
+from numpy.random import default_rng
+
+
+def spawn_worker_state():
+    token = os.urandom(8)          # line 10: DET003 (OS entropy)
+    wid = uuid.uuid4()             # line 11: DET003 (OS entropy)
+    jitter = random.random()       # line 12: DET003 (global stdlib stream)
+    rng = default_rng()            # line 13: DET003 (unseeded)
+    seeded = default_rng(1234)     # ok: explicit seed
+    local = random.Random(7)       # ok: seeded instance
+    return token, wid, jitter, rng, seeded, local

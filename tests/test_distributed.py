@@ -186,6 +186,47 @@ class TestAssignTables:
         with pytest.raises(ValueError):
             assign_tables((10,), 0)
 
+    def test_deterministic(self):
+        sizes = (400, 3, 400, 17, 95, 95, 3)
+        assert assign_tables(sizes, 3) == assign_tables(sizes, 3)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_property_skewed_sizes_spread_bounded(self, seed):
+        """Property (LPT + refinement): on skewed size distributions the
+        byte spread stays within one largest-table and the max/min
+        shard-bytes ratio within the implied bound."""
+        rng = np.random.default_rng(seed)
+        world = int(rng.integers(2, 6))
+        n = int(rng.integers(2 * world, 6 * world))
+        # Log-uniform sizes spanning four decades: the DLRM regime of a
+        # few giant tables over a long tail of tiny ones.
+        sizes = tuple(int(10 ** rng.uniform(1, 5)) for _ in range(n))
+        owner = assign_tables(sizes, world)
+        assert len(owner) == n and set(owner) <= set(range(world))
+        load = [0] * world
+        for t, w in enumerate(owner):
+            load[w] += sizes[t]
+        # LPT invariant: the heaviest worker got its last table while it
+        # was the lightest, so the spread never exceeds one table.
+        assert max(load) - min(load) <= max(sizes)
+        if min(load) > 0:
+            assert max(load) / min(load) <= 1.0 + max(sizes) / min(load)
+
+    def test_refinement_tightens_tail_imbalance(self):
+        """One giant + many mediums: plain LPT strands the giant's worker
+        with nothing else to trade; refinement rebalances the tail."""
+        sizes = (900, 300, 300, 300, 300, 300, 300)
+        owner = assign_tables(sizes, 3)
+        load = [0, 0, 0]
+        for t, w in enumerate(owner):
+            load[w] += sizes[t]
+        assert max(load) - min(load) <= 300
+        raw = assign_tables(sizes, 3, refine=False)
+        raw_load = [0, 0, 0]
+        for t, w in enumerate(raw):
+            raw_load[w] += sizes[t]
+        assert max(load) - min(load) <= max(raw_load) - min(raw_load)
+
 
 class TestModelParallelEquivalence:
     @pytest.mark.parametrize("world_size", [2, 4])

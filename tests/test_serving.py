@@ -414,6 +414,16 @@ class TestInferenceServer:
         stats = server.stats()
         assert stats["backend_failures"] >= len(cached)
         assert stats["scrubbed_rows"] >= len(cached)
+        # Per-table attribution (the shard roll-up hook): the lump sums
+        # decompose by the table whose ladder actually degraded, and
+        # every failing table also shows a fallback rung serving it.
+        assert sum(stats["backend_failures_by_table"].values()) \
+            == stats["backend_failures"]
+        assert sum(stats["scrubs_by_table"].values()) \
+            == stats["scrubbed_rows"]
+        for t in stats["backend_failures_by_table"]:
+            assert any(stats["fallbacks"][t].values()), \
+                f"table {t} failed its primary rung but shows no fallback"
         assert all(r["degraded"] for r in responses)
         for emb in cached:
             assert np.isfinite(

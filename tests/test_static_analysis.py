@@ -116,10 +116,23 @@ class TestRuleFixtures:
         assert report.suppressed == 2
         assert fired(report, "RNG001") == [(8, "RNG001")]
 
+    def test_det003(self):
+        report = lint_fixture("viol_det003.py",
+                              process_scope=["fixtures/lint"])
+        assert fired(report, "DET003") == [
+            (10, "DET003"), (11, "DET003"), (12, "DET003"), (13, "DET003"),
+        ]
+
+    def test_det003_scoped_to_process_modules(self):
+        # Outside process-scope paths the same entropy calls are allowed
+        # (single-process code may legitimately want a fresh UUID).
+        report = lint_fixture("viol_det003.py")
+        assert fired(report, "DET003") == []
+
     def test_all_documented_rules_registered(self):
         assert set(all_rules()) == {
             "RNG001", "DT001", "DT002", "DT003",
-            "DET001", "DET002", "EXC001", "EXC002", "MUT001",
+            "DET001", "DET002", "DET003", "EXC001", "EXC002", "MUT001",
         }
 
 
