@@ -463,6 +463,9 @@ def _cmd_serve_bench(args) -> int:
         injector.register("shard.hang", args.shard_fault_rate / 4)
         injector.register("shard.slow", args.shard_fault_rate)
         injector.register("shard.net_drop", args.shard_fault_rate)
+    if args.kill_shard and args.shards < 1:
+        print("error: --kill-shard requires --shards N")
+        return 2
 
     if args.shards > 0:
         return _run_sharded_bench(args, model, injector)
@@ -641,6 +644,12 @@ def _run_sharded_bench(args, model, injector) -> int:
         print(f"threshold : failover p99 {fo['p99']:.2f} ms "
               f"{'<=' if within else '>'} {args.failover_p99_ms:g} ms "
               f"{'ok' if within else 'FAIL'}")
+    if kill_specs or args.shard_fault_rate > 0:
+        readmitted = report["ready"]["full_capacity"]
+        ok = ok and readmitted
+        print(f"recovery  : {report['ready']['shards_up']}/{args.shards} "
+              f"shards up after quiesce "
+              f"{'ok' if readmitted else 'FAIL (not readmitted)'}")
     print(f"{'PASS' if ok else 'FAIL'}: "
           + ("zero non-finite outputs"
              + (", ledgers reconcile" if reconciled else "")

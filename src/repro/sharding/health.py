@@ -6,10 +6,12 @@ probes on the router's deterministic clock. A shard that misses
 ``miss_threshold`` consecutive probes is **marked down** — so the
 detection window is bounded by ``miss_threshold × heartbeat_interval_ms``
 of simulated time, an invariant the chaos tests assert. The router also
-*fail-fast* marks a shard on a dispatch failure (crash/timeout), which
-is why measured failover latency is usually far below the heartbeat
-window: the health plane is the backstop for silent deaths (``shard.hang``
-with no traffic), not the primary detector.
+*fail-fast* marks a shard whose worker refuses a dispatch outright
+(crash), and marks one down on transient dispatch faults only once the
+per-shard breaker opens, which is why measured failover latency is
+usually far below the heartbeat window: the health plane is the
+backstop for silent deaths (``shard.hang`` with no traffic), not the
+primary detector.
 
 The plane only tracks and reports; the routing decisions (replica
 failover, prior-row degradation, restart scheduling) belong to

@@ -115,6 +115,14 @@ def reconcile_sharded(router: ShardRouter, outcomes: dict,
         "fired": 0,
         "counted": sum(r["violations"] for r in stats["replicas"]),
     }
+    if router.shard_config.restart_after_ms is not None:
+        # With supervised restarts enabled, every shard the chaos took
+        # out must have walked restart -> re-warm -> readmission by the
+        # end of the (quiesced) run: the fleet ends at full capacity.
+        checks["fleet_readmitted"] = {
+            "fired": router.shard_config.num_shards,
+            "counted": stats["health"]["up"],
+        }
     for check in checks.values():
         check["passed"] = check["fired"] == check["counted"]
     return {
@@ -202,6 +210,20 @@ def run_sharded_load(router: ShardRouter, *, num_requests: int = 1000,
             degraded_responses += resp["degraded"]
         clock.advance(max(router.queue.expected_service_ms, 1.0))
         control_plane()
+    # Quiesce: stop injecting new chaos and keep heartbeats + recovery
+    # running until every shard is readmitted (bounded), so the final
+    # health in the report reflects the recovery protocol rather than
+    # whatever mid-flight state the last request happened to leave.
+    sc = router.shard_config
+    if sc.restart_after_ms is not None:
+        budget = 2.0 * (router.health.detection_window_ms
+                        + sc.restart_after_ms + sc.rewarm_ms
+                        + sc.hang_ms) + 500.0
+        settle_deadline = clock.now() + budget
+        while not router.readyz()["full_capacity"] \
+                and clock.now() < settle_deadline:
+            clock.advance(sc.heartbeat_interval_ms)
+            router.tick(clock.now(), probe_faults=False)
 
     stats = router.stats()
     reconciliation = reconcile_sharded(router, outcomes, len(latencies))

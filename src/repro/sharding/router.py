@@ -22,10 +22,16 @@ the PR-3 ladder *within* one:
 3. **frequency-prior row** — the PR-3 bottom rung, applied to whatever
    ids the mirror does not cover. Cannot fail.
 
-Detection is fail-fast on dispatch errors with the
-:class:`~repro.sharding.health.HealthPlane` heartbeat window as the
-backstop; recovery is supervised restart → hot-row re-warm → consistency
-check → readmission. Every decision is counted (``shard.failovers``,
+Detection is layered: a dispatch the worker itself refuses
+(:class:`~repro.sharding.worker.ShardDown`) marks the shard down
+fail-fast; transient dispatch faults (timeout, repeated net-drop) fail
+over and feed the per-shard breaker, which marks the shard down only
+when it opens; the :class:`~repro.sharding.health.HealthPlane`
+heartbeat window is the backstop for silent deaths. Recovery is keyed
+on the health *verdict*, whatever put it there: supervised restart
+(watchdog-killing a still-hung process, keeping a self-healed one) →
+hot-row re-warm → consistency check → readmission with a clean
+breaker. Every decision is counted (``shard.failovers``,
 ``shard.replica_hits``, ``shard.failover_ms``) and surfaced through the
 ``shards`` section of ``healthz``/``readyz`` so one probe answers for
 the whole fleet.
@@ -240,30 +246,56 @@ class ShardRouter:
     # Fleet lifecycle (driven by the load generator / bench loop)
     # ------------------------------------------------------------------ #
 
-    def tick(self, now: float | None = None) -> None:
-        """One control-plane round: fault probes, heartbeats, recovery."""
+    def tick(self, now: float | None = None, *,
+             probe_faults: bool = True) -> None:
+        """One control-plane round: fault probes, heartbeats, recovery.
+
+        ``probe_faults=False`` runs heartbeats and recovery without
+        drawing new chaos — the load generator's quiesce phase, letting
+        in-flight recovery finish after traffic stops.
+        """
         now = self.clock() if now is None else now
-        for worker in self.workers:  # shard-id order => deterministic draws
-            worker.probe_faults(now)
+        if probe_faults:
+            for worker in self.workers:  # shard-id order => determinism
+                worker.probe_faults(now)
         for s in self.health.tick(now, self.workers):
             # Silent death caught by the heartbeat backstop: the failover
             # clock runs from when the outage actually began.
-            since = self.workers[s].impaired_since
-            sample = max(0.0, now - since) if since is not None else 0.0
-            self._failover_ms.observe(sample)
-            self.failover_samples.append(sample)
+            self._observe_failover(s, now)
         self._drive_recovery(now)
 
+    def _observe_failover(self, shard: int, now: float) -> None:
+        """Sample failover latency from when the outage actually began."""
+        since = self.workers[shard].impaired_since
+        sample = max(0.0, now - since) if since is not None else 0.0
+        self._failover_ms.observe(sample)
+        self.failover_samples.append(sample)
+
     def _drive_recovery(self, now: float) -> None:
+        """Walk every unhealthy shard toward readmission.
+
+        Keyed on the health *verdict*, never the worker's internal
+        state: a shard can be marked down for a crash (worker down), a
+        hang (worker self-heals after ``hang_ms``), or slow dispatches /
+        dropped heartbeats (worker never left "up"). Whatever the
+        cause, ``restart_after_ms`` after the mark the supervisor forces
+        it through the same re-warm pipeline, and readmission only ever
+        happens via :meth:`HealthPlane.mark_up` at the end of it.
+        """
         sc = self.shard_config
+        if sc.restart_after_ms is None:
+            return
         for s, worker in enumerate(self.workers):
-            if worker.state == "down" and sc.restart_after_ms is not None:
+            verdict = self.health.verdict[s]
+            if verdict == "down":
                 down_at = self.health.marked_down_at[s]
                 if down_at is not None \
                         and now >= down_at + sc.restart_after_ms:
-                    worker.restart(now)
+                    worker.begin_rewarm(now)
                     self.health.mark_rewarming(s)
-            elif worker.state == "rewarming" and now >= worker.rewarm_until:
+            elif verdict == "rewarming" \
+                    and worker.state == "rewarming" \
+                    and now >= worker.rewarm_until:
                 hot = {
                     (sl.table, sl.row_lo): self._hot_ids(sl)
                     for sl in worker.slices
@@ -278,6 +310,9 @@ class ShardRouter:
                     store.warm(sl, self._hot_ids(sl),
                                self._lookup_fn(sl.table))
                     store.consistency_check(sl, self._lookup_fn(sl.table))
+                # A readmitted shard starts with a clean breaker — the
+                # failures that opened it belong to its previous life.
+                worker.breaker.reset()
                 self.health.mark_up(s, now)
 
     def kill_shard(self, shard: int, now: float | None = None) -> None:
@@ -368,15 +403,22 @@ class ShardRouter:
                 self._net_drop_retries.inc()
                 return worker.dispatch(requests, now,
                                        self.shard_config.shard_deadline_ms)
-        except NetDrop:
-            raise  # twice in a row: fail over this dispatch, stay "up"
-        except (ShardDown, ShardTimeout):
+        except ShardDown:
+            # The worker itself refused: it is dead (or not readmitted).
+            # That is a fact, not a symptom — mark down immediately.
             if self.health.mark_down(shard, now, reason="dispatch"):
-                since = worker.impaired_since
-                sample = max(0.0, now - since) if since is not None else 0.0
-                self._failover_ms.observe(sample)
-                self.failover_samples.append(sample)
+                self._observe_failover(shard, now)
             worker.breaker.record_failure()
+            raise
+        except (ShardTimeout, NetDrop):
+            # Transient by default: fail over this dispatch and let the
+            # per-shard breaker decide availability — only when it opens
+            # (failure_threshold strikes in the window) is the shard
+            # marked down; the heartbeat plane backstops real hangs.
+            worker.breaker.record_failure()
+            if worker.breaker.state == "open" \
+                    and self.health.mark_down(shard, now, reason="breaker"):
+                self._observe_failover(shard, now)
             raise
 
     def step(self) -> list[dict]:
@@ -394,7 +436,6 @@ class ShardRouter:
             # Partition every table batch into per-slice sub-requests.
             per_shard: dict[int, list] = {s: [] for s in
                                           range(self.shard_config.num_shards)}
-            slice_meta = {}
             for t in range(cfg.num_tables):
                 counts = np.array([r.values[t].size for r in batch],
                                   dtype=np.int64)
@@ -406,7 +447,6 @@ class ShardRouter:
                     sub_idx, sub_off = self._slice_subrequest(
                         sl, indices, bag_of, num_bags)
                     per_shard[sl.shard].append((sl, sub_idx, sub_off))
-                    slice_meta[(sl.table, sl.row_lo)] = (sub_idx, sub_off)
             # Fan out in shard-id order (deterministic injector draws).
             gathered = {}
             degraded_slices = {}

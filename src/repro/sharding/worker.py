@@ -88,7 +88,7 @@ class ShardWorker:
         Per-table frequency-prior rows (shared with the router, which
         uses them for whole-shard failover).
     emb_dim / breaker / injector / service params:
-        See :class:`~repro.sharding.router.ShardedServerConfig`.
+        See :class:`~repro.sharding.router.ShardConfig`.
     """
 
     def __init__(self, shard_id: int, slices: list, embeddings: list,
@@ -212,6 +212,31 @@ class ShardWorker:
         self.state = "rewarming"
         self.rewarm_until = now + self.rewarm_ms
         emit_event("shard.restart", shard=self.shard_id, at_ms=now,
+                   ready_ms=self.rewarm_until)
+
+    def begin_rewarm(self, now: float) -> None:
+        """Force the re-warm phase from whatever state the worker is in.
+
+        The supervisor calls this when the health plane's verdict is
+        "down" regardless of what put it there: a crashed worker is
+        restarted, a worker still hung past the restart deadline is
+        watchdog-killed first (a wedged process is not waited out), and
+        a worker that self-healed (hang expired, or it never left "up"
+        — slow dispatches, dropped heartbeats) keeps its process but
+        still rejoins only through re-warm → consistency check →
+        readmission.
+        """
+        self._tick_state(now)
+        if self.state == "rewarming":
+            return
+        if self.state == "hung":
+            self.kill(now, cause="watchdog")
+        if self.state == "down":
+            self.restart(now)
+            return
+        self.state = "rewarming"
+        self.rewarm_until = now + self.rewarm_ms
+        emit_event("shard.rewarm_forced", shard=self.shard_id, at_ms=now,
                    ready_ms=self.rewarm_until)
 
     def complete_rewarm(self, hot_ids_by_slice: dict) -> int:
