@@ -33,6 +33,7 @@ _DEFAULT_CONFIG = {
     "clock_exempt": ["repro/bench"],
     "mutation_scope": ["repro/tt/kernels.py", "repro/cache"],
     "process_scope": ["repro/sharding"],
+    "trace_scope": ["repro/serving", "repro/sharding"],
     "exclude": ["__pycache__", ".git", "build", "dist", ".eggs"],
 }
 
@@ -46,6 +47,7 @@ class LintConfig:
     clock_exempt: list[str] = field(default_factory=lambda: list(_DEFAULT_CONFIG["clock_exempt"]))
     mutation_scope: list[str] = field(default_factory=lambda: list(_DEFAULT_CONFIG["mutation_scope"]))
     process_scope: list[str] = field(default_factory=lambda: list(_DEFAULT_CONFIG["process_scope"]))
+    trace_scope: list[str] = field(default_factory=lambda: list(_DEFAULT_CONFIG["trace_scope"]))
     exclude: list[str] = field(default_factory=lambda: list(_DEFAULT_CONFIG["exclude"]))
     select: list[str] = field(default_factory=list)
     ignore: list[str] = field(default_factory=list)
@@ -57,6 +59,7 @@ class LintConfig:
             "clock_exempt": self.clock_exempt,
             "mutation_scope": self.mutation_scope,
             "process_scope": self.process_scope,
+            "trace_scope": self.trace_scope,
         }
 
 

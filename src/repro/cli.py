@@ -429,6 +429,63 @@ def _cmd_chaos(args) -> int:
     return 0 if ok else 1
 
 
+def _setup_observability(args, clock):
+    """serve-bench: arm request tracing, flight recorder, SLO engine.
+
+    Returns ``(slo_engine, flight_recorder)`` (either may be ``None``);
+    the caller owns teardown via :func:`_teardown_observability`.
+    """
+    slo = None
+    recorder = None
+    if args.slo:
+        from repro.telemetry import SLOEngine, load_policy
+
+        slo = SLOEngine(load_policy(args.slo))
+    if args.trace_sample > 0:
+        from repro.telemetry import get_request_tracer
+
+        get_request_tracer().configure(
+            sample_every=args.trace_sample, path=args.trace_jsonl,
+            clock=clock.now, seed=args.seed,
+        )
+    if args.flight_dir:
+        from repro.telemetry import FlightRecorder, install_flight_recorder
+
+        recorder = install_flight_recorder(
+            FlightRecorder(args.flight_dir, clock=clock.now)
+        )
+    return slo, recorder
+
+
+def _teardown_observability() -> None:
+    from repro.telemetry import get_request_tracer, uninstall_flight_recorder
+
+    get_request_tracer().shutdown()
+    uninstall_flight_recorder()
+
+
+def _print_observability(args, report, recorder) -> bool:
+    """Print the traces/flightrec/SLO sections; returns the SLO gate."""
+    from repro.telemetry import format_report, get_request_tracer
+
+    if args.trace_sample > 0:
+        rt = get_request_tracer()
+        print(f"traces    : {rt.finished} sampled (every "
+              f"{args.trace_sample}th request id) -> {args.trace_jsonl}")
+    if recorder is not None:
+        summ = recorder.summary()
+        if summ["dumps"]:
+            print(f"flightrec : {len(summ['dumps'])} dump(s) in "
+                  f"{args.flight_dir}: " + ", ".join(sorted(summ["dumps"])))
+        else:
+            print(f"flightrec : armed ({summ['events_seen']} events), "
+                  f"no trigger fired")
+    if "slo" in report:
+        print(format_report(report["slo"]))
+        return bool(report["slo"]["gate_passed"])
+    return True
+
+
 def _cmd_serve_bench(args) -> int:
     """Closed-loop load test of the hardened serving runtime."""
     import json
@@ -474,8 +531,9 @@ def _cmd_serve_bench(args) -> int:
         from repro.telemetry import install_sink
 
         install_sink(args.events_jsonl)
+    clock = ManualClock()
+    slo, recorder = _setup_observability(args, clock)
     try:
-        clock = ManualClock()
         server = InferenceServer(
             Predictor(model),
             config=ServerConfig(
@@ -489,9 +547,10 @@ def _cmd_serve_bench(args) -> int:
             server, num_requests=args.requests,
             mean_interarrival_ms=args.interarrival_ms,
             deadline_ms=args.deadline_ms, malformed=args.malformed,
-            seed=args.seed, clock=clock,
+            seed=args.seed, clock=clock, slo=slo,
         )
     finally:
+        _teardown_observability()
         if args.events_jsonl:
             from repro.telemetry import uninstall_sink
 
@@ -534,6 +593,7 @@ def _cmd_serve_bench(args) -> int:
     elif recon["checked"]:
         print("reconcile : skipped (malformed traffic mixes with injected "
               "faults)")
+    ok = _print_observability(args, report, recorder) and ok
     print(f"{'PASS' if ok else 'FAIL'}: "
           + ("zero non-finite outputs"
              + (", ledgers reconcile" if reconciled else "")
@@ -571,8 +631,9 @@ def _run_sharded_bench(args, model, injector) -> int:
         from repro.telemetry import install_sink
 
         install_sink(args.events_jsonl)
+    clock = ManualClock()
+    slo, recorder = _setup_observability(args, clock)
     try:
-        clock = ManualClock()
         router = ShardRouter(
             Predictor(model),
             config=ServerConfig(
@@ -587,9 +648,10 @@ def _run_sharded_bench(args, model, injector) -> int:
             router, num_requests=args.requests,
             mean_interarrival_ms=args.interarrival_ms,
             deadline_ms=args.deadline_ms, malformed=args.malformed,
-            seed=args.seed, clock=clock, kill_specs=kill_specs,
+            seed=args.seed, clock=clock, kill_specs=kill_specs, slo=slo,
         )
     finally:
+        _teardown_observability()
         if args.events_jsonl:
             from repro.telemetry import uninstall_sink
 
@@ -650,6 +712,7 @@ def _run_sharded_bench(args, model, injector) -> int:
         print(f"recovery  : {report['ready']['shards_up']}/{args.shards} "
               f"shards up after quiesce "
               f"{'ok' if readmitted else 'FAIL (not readmitted)'}")
+    ok = _print_observability(args, report, recorder) and ok
     print(f"{'PASS' if ok else 'FAIL'}: "
           + ("zero non-finite outputs"
              + (", ledgers reconcile" if reconciled else "")
@@ -674,6 +737,77 @@ def _run_sharded_bench(args, model, injector) -> int:
                        result={"report": report, "passed": ok})
         print(f"wrote telemetry snapshot to {args.emit_json}")
     return 0 if ok else 1
+
+
+def _cmd_trace(args) -> int:
+    """Inspect a ``repro.trace/v1`` JSONL: span trees + critical paths."""
+    import json
+
+    from repro.telemetry import (
+        critical_path,
+        format_trace_tree,
+        read_trace,
+        slowest_traces,
+    )
+
+    try:
+        traces = read_trace(args.jsonl)
+    except FileNotFoundError:
+        print(f"repro trace: no such file: {args.jsonl}", file=sys.stderr)
+        return 2
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"repro trace: invalid trace file: {exc}", file=sys.stderr)
+        return 2
+    if not traces:
+        print("repro trace: file holds no traces", file=sys.stderr)
+        return 1
+    if args.trace_id:
+        if args.trace_id not in traces:
+            print(f"repro trace: trace {args.trace_id} not found "
+                  f"({len(traces)} trace(s) in file)", file=sys.stderr)
+            return 2
+        selected = [(args.trace_id, traces[args.trace_id])]
+    else:
+        selected = slowest_traces(traces, args.slowest)
+        print(f"{len(traces)} trace(s); showing the {len(selected)} slowest")
+    for tid, spans in selected:
+        print(format_trace_tree(tid, spans))
+        if args.critical_path:
+            chain = " -> ".join(
+                f"{rec['name']} ({rec['end_ms'] - rec['start_ms']:.2f} ms)"
+                for rec in critical_path(spans)
+            )
+            print(f"  critical path: {chain}")
+    return 0
+
+
+def _cmd_slo_report(args) -> int:
+    """Re-render a stored SLO report; exit code follows the gate."""
+    import json
+
+    from repro.telemetry import REPORT_SCHEMA, format_report
+
+    try:
+        with open(args.json) as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        print(f"repro slo-report: no such file: {args.json}",
+              file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"repro slo-report: invalid JSON: {exc}", file=sys.stderr)
+        return 2
+    if doc.get("schema") == REPORT_SCHEMA:
+        rep = doc
+    else:
+        # Accept a serve-bench --emit-json snapshot with a nested report.
+        rep = (doc.get("result", {}).get("report", {}) or {}).get("slo")
+        if not isinstance(rep, dict) or rep.get("schema") != REPORT_SCHEMA:
+            print(f"repro slo-report: {args.json} holds no "
+                  f"{REPORT_SCHEMA} document", file=sys.stderr)
+            return 2
+    print(format_report(rep))
+    return 0 if rep["gate_passed"] else 1
 
 
 def _cmd_lint(args) -> int:
@@ -860,11 +994,42 @@ def build_parser() -> argparse.ArgumentParser:
                         "simulated ms (sharded mode)")
     p.add_argument("--per-shard-json", default=None, metavar="PATH",
                    help="write the per-shard JSON report (sharded mode)")
+    p.add_argument("--slo", default=None, metavar="POLICY",
+                   help="SLO policy JSON (repro.slo/v1): evaluate "
+                        "burn-rate objectives and gate the exit code")
+    p.add_argument("--trace-sample", type=int, default=0, metavar="N",
+                   help="trace every Nth request id as repro.trace/v1 "
+                        "JSONL (0 = tracing off)")
+    p.add_argument("--trace-jsonl", default="serve_trace.jsonl",
+                   metavar="PATH",
+                   help="where --trace-sample writes span records")
+    p.add_argument("--flight-dir", default=None, metavar="DIR",
+                   help="arm the flight recorder; trigger dumps land "
+                        "here as flightrec-<event>.json")
     p.add_argument("--emit-json", default=None, metavar="PATH",
                    help="write a repro.telemetry/v1 snapshot JSON")
     p.add_argument("--events-jsonl", default=None, metavar="PATH",
                    help="stream telemetry events to a JSONL file")
     p.set_defaults(fn=_cmd_serve_bench)
+
+    p = sub.add_parser("trace",
+                       help="inspect a repro.trace/v1 JSONL written by "
+                            "serve-bench --trace-sample")
+    p.add_argument("jsonl", help="trace JSONL file")
+    p.add_argument("--trace-id", default=None,
+                   help="show one trace by id (default: the slowest N)")
+    p.add_argument("--slowest", type=int, default=3, metavar="N",
+                   help="how many slowest traces to show")
+    p.add_argument("--critical-path", action="store_true",
+                   help="append the longest root-to-leaf chain per trace")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("slo-report",
+                       help="render a stored SLO burn-rate report; exit 1 "
+                            "when a gated objective was violated")
+    p.add_argument("json", help="repro.slo-report/v1 JSON, or a "
+                                "serve-bench --emit-json snapshot")
+    p.set_defaults(fn=_cmd_slo_report)
 
     p = sub.add_parser("lint",
                        help="project-specific static analysis "

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.telemetry import emit_event, get_registry
+from repro.telemetry import get_registry, traced_event
 
 __all__ = ["CircuitBreaker"]
 
@@ -70,8 +70,8 @@ class CircuitBreaker:
     def _transition(self, to: str) -> None:
         if to == self.state:
             return
-        emit_event("serving.breaker", breaker=self.name,
-                   from_state=self.state, to_state=to)
+        traced_event("serving.breaker", breaker=self.name,
+                     from_state=self.state, to_state=to)
         self.transitions.append((self.state, to))
         self._transition_counters[to].inc()
         self.state = to

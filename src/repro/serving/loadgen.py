@@ -30,13 +30,10 @@ import numpy as np
 from repro.serving.admission import Request
 from repro.serving.queue import ManualClock
 from repro.serving.server import InferenceServer
+from repro.telemetry import get_registry
 from repro.utils.seeding import as_rng
 
 __all__ = ["run_load", "reconcile"]
-
-
-def _percentile(values: list[float], q: float) -> float:
-    return float(np.percentile(np.asarray(values), q)) if values else 0.0
 
 
 def _make_request(rng: np.random.Generator, cfg, rid: int,
@@ -103,7 +100,7 @@ def run_load(server: InferenceServer, *, num_requests: int = 1000,
              mean_interarrival_ms: float = 1.0,
              deadline_ms: float | None = None,
              malformed: float = 0.0, seed: int = 0,
-             clock: ManualClock | None = None) -> dict:
+             clock: ManualClock | None = None, slo=None) -> dict:
     """Drive the server with a closed-loop synthetic workload.
 
     The loop alternates arrival bursts and serving steps: simulated time
@@ -112,6 +109,14 @@ def run_load(server: InferenceServer, *, num_requests: int = 1000,
     forward pass) genuinely backs the queue up and exercises shedding.
     When the queue signals backpressure the generator halves its offered
     rate until the backlog clears — the closed loop.
+
+    Latency bookkeeping lives in the shared ``serving.latency_ms``
+    telemetry histogram (reset at run start so the report is run-local)
+    — the same instrument ``repro profile`` snapshots and the SLO engine
+    consumes, not a private list. Pass an
+    :class:`~repro.telemetry.slo.SLOEngine` as ``slo`` to stream every
+    outcome into objective evaluation; its report lands under
+    ``report["slo"]``.
 
     Returns a JSON-ready report: latency percentiles, outcome counts,
     breaker transitions, health, and (with an injector) reconciliation.
@@ -123,11 +128,36 @@ def run_load(server: InferenceServer, *, num_requests: int = 1000,
         raise ValueError(f"malformed must be in [0, 1], got {malformed}")
     rng = as_rng(seed)
     cfg = server.predictor.config
-    latencies: list[float] = []
+    latency_hist = get_registry().histogram("serving.latency_ms")
+    latency_hist.reset()
     outcomes = {"queued": 0, "rejected": 0, "shed": 0}
+    served = 0
     degraded_responses = 0
     backpressured = 0
+    last_deadline_shed = server.queue.shed_counts()["deadline"]
     sent = 0
+
+    def on_response(resp: dict) -> None:
+        nonlocal served, degraded_responses
+        served += 1
+        degraded_responses += resp["degraded"]
+        if slo is not None:
+            slo.observe("served", now=clock.now(),
+                        latency_ms=resp["latency_ms"],
+                        degraded=bool(resp["degraded"]),
+                        trace_id=resp.get("trace_id"),
+                        request_id=resp["request_id"])
+
+    def flush_deadline_sheds() -> None:
+        # Deadline sheds happen inside batch forming; surface the delta
+        # to the SLO engine (count-only — the requests are gone).
+        nonlocal last_deadline_shed
+        cur = server.queue.shed_counts()["deadline"]
+        if slo is not None and cur > last_deadline_shed:
+            slo.observe("shed", now=clock.now(),
+                        count=cur - last_deadline_shed)
+        last_deadline_shed = cur
+
     while sent < num_requests:
         # Burst of arrivals between two serving steps.
         burst = int(rng.integers(1, max(2, server.config.max_batch)))
@@ -143,26 +173,30 @@ def run_load(server: InferenceServer, *, num_requests: int = 1000,
                                 malformed=bool(rng.random() < malformed))
             status = server.submit(req)
             outcomes[status["status"]] += 1
+            if slo is not None and status["status"] in ("shed", "rejected"):
+                slo.observe(status["status"], now=clock.now(),
+                            trace_id=status.get("trace_id"),
+                            request_id=status["request_id"])
             sent += 1
         for resp in server.step():
-            latencies.append(resp["latency_ms"])
-            degraded_responses += resp["degraded"]
+            on_response(resp)
+        flush_deadline_sheds()
         # Catch up on simulated time: the batch's real service time.
         clock.advance(server.queue.expected_service_ms)
     for resp in server.drain():
-        latencies.append(resp["latency_ms"])
-        degraded_responses += resp["degraded"]
+        on_response(resp)
+    flush_deadline_sheds()
 
     stats = server.stats()
     non_finite = stats["final_guard"]
     report = {
         "requests": num_requests,
-        "served": len(latencies),
+        "served": served,
         "outcomes": outcomes,
         "latency_ms": {
-            "p50": _percentile(latencies, 50),
-            "p99": _percentile(latencies, 99),
-            "max": max(latencies) if latencies else 0.0,
+            "p50": latency_hist.quantile(0.50),
+            "p99": latency_hist.quantile(0.99),
+            "max": latency_hist.max if latency_hist.count else 0.0,
         },
         "shed": stats["shed"],
         "shed_rate": (outcomes["shed"] + stats["shed"]["deadline"])
@@ -175,6 +209,8 @@ def run_load(server: InferenceServer, *, num_requests: int = 1000,
         "stats": stats,
         "reconciliation": reconcile(server),
     }
+    if slo is not None:
+        report["slo"] = slo.report(clock.now())
     if server.injector is not None:
         report["injector"] = server.injector.counters()
     return report

@@ -26,7 +26,7 @@ from __future__ import annotations
 from collections import deque
 from time import perf_counter_ns
 
-from repro.telemetry import get_registry
+from repro.telemetry import finish_request, get_registry
 
 __all__ = ["ManualClock", "MicroBatchQueue", "monotonic_ms"]
 
@@ -162,6 +162,7 @@ class MicroBatchQueue:
         for req in self._queue:
             if req.deadline_ms < horizon:
                 self._shed["deadline"].inc()
+                finish_request(req, "shed_deadline", now=now)
             else:
                 feasible.append(req)
         feasible.sort(key=lambda r: r.deadline_ms)

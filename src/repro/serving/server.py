@@ -38,7 +38,14 @@ from repro.inference.predictor import Predictor, _sigmoid
 from repro.serving.admission import Rejection, Request, RequestSanitizer
 from repro.serving.breaker import CircuitBreaker
 from repro.serving.queue import MicroBatchQueue, monotonic_ms
-from repro.telemetry import emit_event, get_registry, trace
+from repro.telemetry import (
+    annotate_span,
+    finish_request,
+    get_registry,
+    get_request_tracer,
+    traced_event,
+    traced_span,
+)
 
 __all__ = ["ServerConfig", "InferenceServer", "Rung", "TableLadder",
            "frequency_prior_row"]
@@ -127,8 +134,10 @@ class TableLadder:
             if not rung.breaker.allow():
                 continue
             try:
-                with trace("serving.pooled", table=str(self.table),
-                           rung=rung.name):
+                with traced_span("serving.pooled", table=str(self.table),
+                                 rung=rung.name):
+                    annotate_span(breaker=rung.breaker.state,
+                                  bags=int(offsets.size - 1))
                     pooled = np.asarray(rung.compute(indices, offsets),
                                         dtype=np.float64)
             except Exception as exc:  # noqa: BLE001 - the ladder IS the handler
@@ -150,9 +159,9 @@ class TableLadder:
     def _record_failure(self, rung: Rung, detail: str) -> None:
         rung.breaker.record_failure()
         self._failures.inc()
-        emit_event("serving.backend_failure", table=self.table,
-                   rung=rung.name, detail=detail,
-                   breaker_state=rung.breaker.state)
+        traced_event("serving.backend_failure", table=self.table,
+                     rung=rung.name, detail=detail,
+                     breaker_state=rung.breaker.state)
         if self.scrub is not None:
             repaired = self.scrub()
             if repaired:
@@ -308,16 +317,27 @@ class InferenceServer:
                 request = Request(dense=dense, sparse=request.sparse,
                                   deadline_ms=request.deadline_ms,
                                   request_id=request.request_id)
-        with trace("serving.admission"):
-            admitted = self.sanitizer.sanitize(request)
+        rt = get_request_tracer()
+        ctx = rt.maybe_start(request.request_id, now=self.clock())
+        with rt.scope([ctx]):
+            with traced_span("serving.admission"):
+                admitted = self.sanitizer.sanitize(request)
         if isinstance(admitted, Rejection):
+            rt.finish(ctx, "rejected", now=self.clock(),
+                      reason=admitted.reason)
             return {"status": "rejected", "reason": admitted.reason,
                     "detail": admitted.detail,
-                    "request_id": admitted.request_id}
+                    "request_id": admitted.request_id,
+                    **({"trace_id": ctx.trace_id} if ctx else {})}
         outcome = self.queue.submit(admitted)
         if outcome != "queued":
+            rt.finish(ctx, "shed", now=self.clock(),
+                      reason=outcome.removeprefix("shed_"))
             return {"status": "shed", "reason": outcome.removeprefix("shed_"),
-                    "request_id": admitted.request_id}
+                    "request_id": admitted.request_id,
+                    **({"trace_id": ctx.trace_id} if ctx else {})}
+        if ctx is not None:
+            admitted.trace_ctx = ctx
         return {"status": "queued", "request_id": admitted.request_id,
                 "repairs": list(admitted.repairs),
                 "backpressure": self.queue.should_backpressure()}
@@ -327,30 +347,40 @@ class InferenceServer:
         batch = self.queue.next_batch()
         if not batch:
             return []
+        rt = get_request_tracer()
+        ctxs = [c for r in batch
+                if (c := getattr(r, "trace_ctx", None)) is not None]
         formed_at = self.clock()
         start_ns = perf_counter_ns()
-        with trace("serving.batch"):
-            dense = np.stack([r.dense for r in batch])
-            pooled = []
-            served_by: dict[int, str] = {}
-            for t, ladder in enumerate(self.ladders):
-                counts = np.array([r.values[t].size for r in batch],
-                                  dtype=np.int64)
-                indices = (np.concatenate([r.values[t] for r in batch])
-                           if counts.sum() else np.empty(0, dtype=np.int64))
-                vecs, rung = ladder.serve(indices, make_offsets(counts))
-                pooled.append(vecs)
-                if rung != "primary":
-                    served_by[t] = rung
-            with trace("serving.towers"):
-                probs = _sigmoid(
-                    self.predictor.logits_from_pooled(dense, pooled)
-                )
-        bad = ~np.isfinite(probs)
-        if bad.any():  # the last line of defence; should be unreachable
-            self._final_guard.inc(int(bad.sum()))
-            emit_event("serving.final_guard", count=int(bad.sum()))
-            probs = np.where(bad, 0.5, probs)
+        with rt.scope(ctxs):
+            for req in batch:
+                ctx = getattr(req, "trace_ctx", None)
+                if ctx is not None:
+                    ctx.record_span("queue.wait", req.arrival_ms, formed_at)
+            with traced_span("serving.batch"):
+                annotate_span(batch_size=len(batch))
+                dense = np.stack([r.dense for r in batch])
+                pooled = []
+                served_by: dict[int, str] = {}
+                for t, ladder in enumerate(self.ladders):
+                    counts = np.array([r.values[t].size for r in batch],
+                                      dtype=np.int64)
+                    indices = (np.concatenate([r.values[t] for r in batch])
+                               if counts.sum()
+                               else np.empty(0, dtype=np.int64))
+                    vecs, rung = ladder.serve(indices, make_offsets(counts))
+                    pooled.append(vecs)
+                    if rung != "primary":
+                        served_by[t] = rung
+                with traced_span("serving.towers"):
+                    probs = _sigmoid(
+                        self.predictor.logits_from_pooled(dense, pooled)
+                    )
+            bad = ~np.isfinite(probs)
+            if bad.any():  # the last line of defence; should be unreachable
+                self._final_guard.inc(int(bad.sum()))
+                traced_event("serving.final_guard", count=int(bad.sum()))
+                probs = np.where(bad, 0.5, probs)
         service_ms = (perf_counter_ns() - start_ns) / 1e6
         self.queue.observe_service(service_ms)
         self._batches.inc()
@@ -359,14 +389,20 @@ class InferenceServer:
         for req, prob in zip(batch, probs):
             latency = (formed_at - req.arrival_ms) + service_ms
             self._latency.observe(latency)
-            responses.append({
+            resp = {
                 "request_id": req.request_id,
                 "prob": float(prob),
                 "latency_ms": latency,
                 "degraded": bool(served_by),
                 "served_by": dict(served_by),
                 "repairs": list(req.repairs),
-            })
+            }
+            ctx = getattr(req, "trace_ctx", None)
+            if ctx is not None:
+                resp["trace_id"] = ctx.trace_id
+            finish_request(req, "served", now=self.clock(),
+                           latency_ms=latency, degraded=bool(served_by))
+            responses.append(resp)
         return responses
 
     def drain(self) -> list[dict]:

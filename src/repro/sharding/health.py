@@ -20,7 +20,7 @@ failover, prior-row degradation, restart scheduling) belong to
 
 from __future__ import annotations
 
-from repro.telemetry import emit_event, get_registry
+from repro.telemetry import get_registry, traced_event
 
 __all__ = ["HealthPlane"]
 
@@ -115,8 +115,8 @@ class HealthPlane:
         self.verdict[shard] = "down"
         self.marked_down_at[shard] = now
         self._up_gauge.set(sum(v == "up" for v in self.verdict))
-        emit_event("shard.marked_down", shard=shard, reason=reason,
-                   at_ms=now, misses=self.misses[shard])
+        traced_event("shard.marked_down", shard=shard, reason=reason,
+                     at_ms=now, misses=self.misses[shard])
 
     def mark_down(self, shard: int, now: float, *,
                   reason: str = "dispatch") -> bool:
@@ -139,7 +139,7 @@ class HealthPlane:
         self.last_seen[shard] = now
         self.marked_down_at[shard] = None
         self._up_gauge.set(sum(v == "up" for v in self.verdict))
-        emit_event("shard.readmitted", shard=shard, at_ms=now)
+        traced_event("shard.readmitted", shard=shard, at_ms=now)
 
     def is_up(self, shard: int) -> bool:
         return self.verdict[shard] == "up"

@@ -19,11 +19,10 @@ from __future__ import annotations
 
 import re
 
-import numpy as np
-
-from repro.serving.loadgen import _make_request, _percentile
+from repro.serving.loadgen import _make_request
 from repro.serving.queue import ManualClock
 from repro.sharding.router import ShardRouter
+from repro.telemetry import get_registry
 from repro.utils.seeding import as_rng
 
 __all__ = ["KillSpec", "parse_kill_spec", "run_sharded_load",
@@ -138,7 +137,7 @@ def run_sharded_load(router: ShardRouter, *, num_requests: int = 1000,
                      malformed: float = 0.0, seed: int = 0,
                      clock: ManualClock | None = None,
                      kill_specs: list[KillSpec] | None = None,
-                     refresh_every_ms: float = 500.0) -> dict:
+                     refresh_every_ms: float = 500.0, slo=None) -> dict:
     """Drive the sharded tier; returns a JSON-ready per-shard report.
 
     The loop is the PR-3 closed loop plus the control plane: after every
@@ -146,6 +145,13 @@ def run_sharded_load(router: ShardRouter, *, num_requests: int = 1000,
     heartbeats, drives restart/re-warm), pending ``--kill-shard`` specs
     fire when simulated time passes them, and replicas are re-warmed to
     the observed hot head every ``refresh_every_ms``.
+
+    Latency/service/failover bookkeeping reads the shared telemetry
+    histograms (``serving.latency_ms``, ``shard.service_ms{shard=}``,
+    ``shard.failover_ms``), reset at run start so the report is
+    run-local; ``reconcile_sharded`` keeps its exact-ledger semantics.
+    Pass an :class:`~repro.telemetry.slo.SLOEngine` as ``slo`` to stream
+    served/shed/staleness outcomes into objective evaluation.
     """
     if clock is None:
         clock = router.clock if isinstance(router.clock, ManualClock) \
@@ -161,12 +167,37 @@ def run_sharded_load(router: ShardRouter, *, num_requests: int = 1000,
             )
     rng = as_rng(seed)
     cfg = router.predictor.config
-    latencies: list[float] = []
+    reg = get_registry()
+    latency_hist = reg.histogram("serving.latency_ms")
+    for prefix in ("serving.latency_ms", "shard.service_ms",
+                   "shard.failover_ms"):
+        reg.reset(prefix)
     outcomes = {"queued": 0, "rejected": 0, "shed": 0}
+    served = 0
     degraded_responses = 0
     backpressured = 0
+    last_deadline_shed = router.queue.shed_counts()["deadline"]
     next_refresh = refresh_every_ms
     sent = 0
+
+    def on_response(resp: dict) -> None:
+        nonlocal served, degraded_responses
+        served += 1
+        degraded_responses += resp["degraded"]
+        if slo is not None:
+            slo.observe("served", now=clock.now(),
+                        latency_ms=resp["latency_ms"],
+                        degraded=bool(resp["degraded"]),
+                        trace_id=resp.get("trace_id"),
+                        request_id=resp["request_id"])
+
+    def flush_deadline_sheds() -> None:
+        nonlocal last_deadline_shed
+        cur = router.queue.shed_counts()["deadline"]
+        if slo is not None and cur > last_deadline_shed:
+            slo.observe("shed", now=clock.now(),
+                        count=cur - last_deadline_shed)
+        last_deadline_shed = cur
 
     def control_plane() -> None:
         nonlocal next_refresh
@@ -178,7 +209,11 @@ def run_sharded_load(router: ShardRouter, *, num_requests: int = 1000,
         router.tick(now)
         if now >= next_refresh:
             router.refresh_replicas()
-            router.check_replica_consistency()
+            stale = router.check_replica_consistency()
+            if slo is not None:
+                slo.observe("replica_check", now=now)
+                if stale:
+                    slo.observe("staleness", now=now, count=stale)
             next_refresh = now + refresh_every_ms
 
     while sent < num_requests:
@@ -196,20 +231,38 @@ def run_sharded_load(router: ShardRouter, *, num_requests: int = 1000,
                                 malformed=bool(rng.random() < malformed))
             status = router.submit(req)
             outcomes[status["status"]] += 1
+            if slo is not None and status["status"] in ("shed", "rejected"):
+                slo.observe(status["status"], now=clock.now(),
+                            trace_id=status.get("trace_id"),
+                            request_id=status["request_id"])
             sent += 1
         for resp in router.step():
-            latencies.append(resp["latency_ms"])
-            degraded_responses += resp["degraded"]
+            on_response(resp)
+        flush_deadline_sheds()
         clock.advance(router.queue.expected_service_ms)
         control_plane()
     # Drain with the control plane still running, so in-flight recovery
     # (restart → re-warm → readmit) completes against the tail.
     while router.queue.depth:
         for resp in router.step():
-            latencies.append(resp["latency_ms"])
-            degraded_responses += resp["degraded"]
+            on_response(resp)
+        flush_deadline_sheds()
         clock.advance(max(router.queue.expected_service_ms, 1.0))
         control_plane()
+    # A scheduled kill beyond the traffic window still fires: keep the
+    # clock moving (control plane running) until every spec has fired,
+    # then through the heartbeat detection window, so the silent death
+    # is caught by the backstop and the quiesce phase below drives
+    # readmission — all in simulated time.
+    if any(not ks.done for ks in kill_specs):
+        while any(not ks.done for ks in kill_specs):
+            clock.advance(router.shard_config.heartbeat_interval_ms)
+            control_plane()
+        horizon = clock.now() + router.health.detection_window_ms \
+            + router.shard_config.heartbeat_interval_ms
+        while clock.now() < horizon:
+            clock.advance(router.shard_config.heartbeat_interval_ms)
+            control_plane()
     # Quiesce: stop injecting new chaos and keep heartbeats + recovery
     # running until every shard is readmitted (bounded), so the final
     # health in the report reflects the recovery protocol rather than
@@ -226,16 +279,16 @@ def run_sharded_load(router: ShardRouter, *, num_requests: int = 1000,
             router.tick(clock.now(), probe_faults=False)
 
     stats = router.stats()
-    reconciliation = reconcile_sharded(router, outcomes, len(latencies))
+    reconciliation = reconcile_sharded(router, outcomes, served)
     per_shard = []
-    for w, worker in zip(stats["workers"], router.workers):
-        samples = worker.service_samples
+    for w in stats["workers"]:
+        service = reg.histogram("shard.service_ms", shard=str(w["shard"]))
         per_shard.append({
             "shard": w["shard"],
             "state": w["state"],
             "dispatches": w["dispatches"],
-            "p50_ms": _percentile(samples, 50),
-            "p99_ms": _percentile(samples, 99),
+            "p50_ms": service.quantile(0.50),
+            "p99_ms": service.quantile(0.99),
             "heartbeats": w["heartbeats"],
             "crashes": w["crashes"],
             "hangs": w["hangs"],
@@ -244,14 +297,15 @@ def run_sharded_load(router: ShardRouter, *, num_requests: int = 1000,
             "rewarmed_rows": w["rewarmed_rows"],
         })
     failover = stats["failover_ms"]
+    failover_hist = reg.histogram("shard.failover_ms")
     report = {
         "requests": num_requests,
-        "served": len(latencies),
+        "served": served,
         "outcomes": outcomes,
         "latency_ms": {
-            "p50": _percentile(latencies, 50),
-            "p99": _percentile(latencies, 99),
-            "max": max(latencies) if latencies else 0.0,
+            "p50": latency_hist.quantile(0.50),
+            "p99": latency_hist.quantile(0.99),
+            "max": latency_hist.max if latency_hist.count else 0.0,
         },
         "shed": stats["shed"],
         "shed_rate": (outcomes["shed"] + stats["shed"]["deadline"])
@@ -265,7 +319,7 @@ def run_sharded_load(router: ShardRouter, *, num_requests: int = 1000,
         "failover_ms": {
             "count": failover["count"],
             "mean": failover["mean"],
-            "p99": _percentile(router.failover_samples, 99),
+            "p99": failover_hist.quantile(0.99),
             "max": failover["max"] if failover["count"] else 0.0,
         },
         "per_shard": per_shard,
@@ -274,6 +328,8 @@ def run_sharded_load(router: ShardRouter, *, num_requests: int = 1000,
         "stats": stats,
         "reconciliation": reconciliation,
     }
+    if slo is not None:
+        report["slo"] = slo.report(clock.now())
     if router.injector is not None:
         report["injector"] = router.injector.counters()
     return report

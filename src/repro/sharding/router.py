@@ -40,7 +40,6 @@ the whole fleet.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from time import perf_counter_ns
 
 import numpy as np
 
@@ -61,7 +60,14 @@ from repro.sharding.worker import (
     ShardWorker,
     pool_rows,
 )
-from repro.telemetry import emit_event, get_registry, trace
+from repro.telemetry import (
+    annotate_span,
+    finish_request,
+    get_registry,
+    get_request_tracer,
+    traced_event,
+    traced_span,
+)
 
 __all__ = ["ShardConfig", "ShardRouter"]
 
@@ -175,8 +181,6 @@ class ShardRouter:
             "shard.failover_ms",
             bounds=(1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 200.0, 500.0),
         )
-        # Raw samples for exact failover percentiles in serve-bench.
-        self.failover_samples: list[float] = []
         self._latency = reg.histogram(
             "serving.latency_ms",
             bounds=(0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
@@ -269,7 +273,6 @@ class ShardRouter:
         since = self.workers[shard].impaired_since
         sample = max(0.0, now - since) if since is not None else 0.0
         self._failover_ms.observe(sample)
-        self.failover_samples.append(sample)
 
     def _drive_recovery(self, now: float) -> None:
         """Walk every unhealthy shard toward readmission.
@@ -335,16 +338,27 @@ class ShardRouter:
                 request = Request(dense=dense, sparse=request.sparse,
                                   deadline_ms=request.deadline_ms,
                                   request_id=request.request_id)
-        with trace("serving.admission"):
-            admitted = self.sanitizer.sanitize(request)
+        rt = get_request_tracer()
+        ctx = rt.maybe_start(request.request_id, now=self.clock())
+        with rt.scope([ctx]):
+            with traced_span("serving.admission"):
+                admitted = self.sanitizer.sanitize(request)
         if isinstance(admitted, Rejection):
+            rt.finish(ctx, "rejected", now=self.clock(),
+                      reason=admitted.reason)
             return {"status": "rejected", "reason": admitted.reason,
                     "detail": admitted.detail,
-                    "request_id": admitted.request_id}
+                    "request_id": admitted.request_id,
+                    **({"trace_id": ctx.trace_id} if ctx else {})}
         outcome = self.queue.submit(admitted)
         if outcome != "queued":
+            rt.finish(ctx, "shed", now=self.clock(),
+                      reason=outcome.removeprefix("shed_"))
             return {"status": "shed", "reason": outcome.removeprefix("shed_"),
-                    "request_id": admitted.request_id}
+                    "request_id": admitted.request_id,
+                    **({"trace_id": ctx.trace_id} if ctx else {})}
+        if ctx is not None:
+            admitted.trace_ctx = ctx
         return {"status": "queued", "request_id": admitted.request_id,
                 "repairs": list(admitted.repairs),
                 "backpressure": self.queue.should_backpressure()}
@@ -428,88 +442,124 @@ class ShardRouter:
             return []
         now = self.clock()
         formed_at = now
-        start_ns = perf_counter_ns()
         num_bags = len(batch)
         cfg = self.predictor.config
-        with trace("serving.batch"):
-            dense = np.stack([r.dense for r in batch])
-            # Partition every table batch into per-slice sub-requests.
-            per_shard: dict[int, list] = {s: [] for s in
-                                          range(self.shard_config.num_shards)}
-            for t in range(cfg.num_tables):
-                counts = np.array([r.values[t].size for r in batch],
-                                  dtype=np.int64)
-                indices = (np.concatenate([r.values[t] for r in batch])
-                           if counts.sum() else np.empty(0, dtype=np.int64))
-                self.trackers[t].record(indices)
-                bag_of = np.repeat(np.arange(num_bags), counts)
-                for sl in self.plan.slices_of_table(t):
-                    sub_idx, sub_off = self._slice_subrequest(
-                        sl, indices, bag_of, num_bags)
-                    per_shard[sl.shard].append((sl, sub_idx, sub_off))
-            # Fan out in shard-id order (deterministic injector draws).
-            gathered = {}
-            degraded_slices = {}
-            max_sim_ms = 0.0
-            for s in sorted(per_shard):
-                reqs = per_shard[s]
-                if not reqs:
-                    continue
-                try:
-                    results, sim_ms = self._dispatch_shard(s, reqs, now)
-                except (ShardDown, ShardTimeout, NetDrop):
-                    self._failovers.inc()
-                    emit_event("shard.failover", shard=s, at_ms=now,
-                               slices=[sl.describe() for sl, _, _ in reqs])
-                    for sl, sub_idx, sub_off in reqs:
-                        pooled, path = self._failover_pooled(
-                            sl, sub_idx, sub_off, now)
-                        gathered[(sl.table, sl.row_lo)] = pooled
-                        degraded_slices[sl.describe()] = path
-                    continue
-                self.workers[s].breaker.record_success()
-                for key, (pooled, rung) in results.items():
-                    gathered[key] = pooled
-                    if rung != "rows":
-                        t, lo = key
-                        degraded_slices[f"t{t}[{lo}:]@s{s}"] = rung
-                max_sim_ms = max(max_sim_ms, sim_ms)
-            # Gather: sum slice partials per table, then apply the mode.
-            pooled_tables = []
-            for t in range(cfg.num_tables):
-                total = np.zeros((num_bags, cfg.emb_dim), dtype=np.float64)
-                for sl in self.plan.slices_of_table(t):
-                    total += gathered[(sl.table, sl.row_lo)]
-                if self.modes[t] == "mean":
+        rt = get_request_tracer()
+        ctxs = [c for r in batch
+                if (c := getattr(r, "trace_ctx", None)) is not None]
+        with rt.scope(ctxs):
+            for req in batch:
+                ctx = getattr(req, "trace_ctx", None)
+                if ctx is not None:
+                    ctx.record_span("queue.wait", req.arrival_ms, formed_at)
+            with traced_span("serving.batch"):
+                annotate_span(batch_size=num_bags)
+                dense = np.stack([r.dense for r in batch])
+                # Partition every table batch into per-slice sub-requests.
+                per_shard: dict[int, list] = {
+                    s: [] for s in range(self.shard_config.num_shards)
+                }
+                for t in range(cfg.num_tables):
                     counts = np.array([r.values[t].size for r in batch],
-                                      dtype=np.float64)
-                    total /= np.maximum(counts, 1.0)[:, None]
-                pooled_tables.append(total)
-            with trace("serving.towers"):
-                probs = _sigmoid(
-                    self.predictor.logits_from_pooled(dense, pooled_tables)
-                )
-        bad = ~np.isfinite(probs)
-        if bad.any():  # unreachable by design; belt and braces
-            self._final_guard.inc(int(bad.sum()))
-            emit_event("serving.final_guard", count=int(bad.sum()))
-            probs = np.where(bad, 0.5, probs)
-        service_ms = (perf_counter_ns() - start_ns) / 1e6
-        self.queue.observe_service(service_ms)
+                                      dtype=np.int64)
+                    indices = (np.concatenate([r.values[t] for r in batch])
+                               if counts.sum()
+                               else np.empty(0, dtype=np.int64))
+                    self.trackers[t].record(indices)
+                    bag_of = np.repeat(np.arange(num_bags), counts)
+                    for sl in self.plan.slices_of_table(t):
+                        sub_idx, sub_off = self._slice_subrequest(
+                            sl, indices, bag_of, num_bags)
+                        per_shard[sl.shard].append((sl, sub_idx, sub_off))
+                # Fan out in shard-id order (deterministic injector draws).
+                gathered = {}
+                degraded_slices = {}
+                max_sim_ms = 0.0
+                for s in sorted(per_shard):
+                    reqs = per_shard[s]
+                    if not reqs:
+                        continue
+                    try:
+                        with traced_span("shard.dispatch", shard=str(s)):
+                            annotate_span(
+                                slices=[sl.describe() for sl, _, _ in reqs],
+                                breaker=self.workers[s].breaker.state,
+                            )
+                            results, sim_ms = self._dispatch_shard(
+                                s, reqs, now)
+                            annotate_span(sim_ms=sim_ms)
+                    except (ShardDown, ShardTimeout, NetDrop) as exc:
+                        self._failovers.inc()
+                        traced_event(
+                            "shard.failover", shard=s, at_ms=now,
+                            slices=[sl.describe() for sl, _, _ in reqs])
+                        with traced_span("shard.failover", shard=str(s)):
+                            annotate_span(cause=type(exc).__name__)
+                            paths = {}
+                            for sl, sub_idx, sub_off in reqs:
+                                pooled, path = self._failover_pooled(
+                                    sl, sub_idx, sub_off, now)
+                                gathered[(sl.table, sl.row_lo)] = pooled
+                                degraded_slices[sl.describe()] = path
+                                paths[sl.describe()] = path
+                            annotate_span(paths=paths)
+                        continue
+                    self.workers[s].breaker.record_success()
+                    for key, (pooled, rung) in results.items():
+                        gathered[key] = pooled
+                        if rung != "rows":
+                            t, lo = key
+                            degraded_slices[f"t{t}[{lo}:]@s{s}"] = rung
+                    max_sim_ms = max(max_sim_ms, sim_ms)
+                # Gather: sum slice partials per table, apply the mode.
+                pooled_tables = []
+                for t in range(cfg.num_tables):
+                    total = np.zeros((num_bags, cfg.emb_dim),
+                                     dtype=np.float64)
+                    for sl in self.plan.slices_of_table(t):
+                        total += gathered[(sl.table, sl.row_lo)]
+                    if self.modes[t] == "mean":
+                        counts = np.array(
+                            [r.values[t].size for r in batch],
+                            dtype=np.float64)
+                        total /= np.maximum(counts, 1.0)[:, None]
+                    pooled_tables.append(total)
+                with traced_span("serving.towers"):
+                    probs = _sigmoid(
+                        self.predictor.logits_from_pooled(
+                            dense, pooled_tables)
+                    )
+            bad = ~np.isfinite(probs)
+            if bad.any():  # unreachable by design; belt and braces
+                self._final_guard.inc(int(bad.sum()))
+                traced_event("serving.final_guard", count=int(bad.sum()))
+                probs = np.where(bad, 0.5, probs)
+        # Feed the queue's pacing EWMA *simulated* service time (the
+        # slowest shard leg), matching the fully simulated per-request
+        # latency model. Measuring wall clock here would leak real time
+        # into the ManualClock advances and break byte-identical
+        # same-seed trace files.
+        self.queue.observe_service(max(max_sim_ms, 1.0))
         self._batches.inc()
         self._served.inc(len(batch))
         responses = []
         for req, prob in zip(batch, probs):
             latency = (formed_at - req.arrival_ms) + max_sim_ms
             self._latency.observe(latency)
-            responses.append({
+            resp = {
                 "request_id": req.request_id,
                 "prob": float(prob),
                 "latency_ms": latency,
                 "degraded": bool(degraded_slices),
                 "served_by": dict(degraded_slices),
                 "repairs": list(req.repairs),
-            })
+            }
+            ctx = getattr(req, "trace_ctx", None)
+            if ctx is not None:
+                resp["trace_id"] = ctx.trace_id
+            finish_request(req, "served", now=formed_at + max_sim_ms,
+                           latency_ms=latency, degraded=bool(degraded_slices))
+            responses.append(resp)
         return responses
 
     def drain(self) -> list[dict]:

@@ -40,7 +40,7 @@ import numpy as np
 
 from repro.serving.breaker import CircuitBreaker
 from repro.serving.server import Rung, TableLadder
-from repro.telemetry import emit_event, get_registry
+from repro.telemetry import annotate_span, get_registry, traced_event, traced_span
 
 __all__ = ["ShardWorker", "ShardDown", "ShardTimeout", "NetDrop",
            "pool_rows"]
@@ -125,9 +125,6 @@ class ShardWorker:
             "shard.service_ms", shard=sid,
             bounds=(0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0),
         )
-        # Raw samples kept for exact per-shard percentiles in serve-bench
-        # reports (bench-scale traffic; bounded by the request count).
-        self.service_samples: list[float] = []
         self.ladders = {
             (sl.table, sl.row_lo): self._build_ladder(sl)
             for sl in self.slices
@@ -187,8 +184,8 @@ class ShardWorker:
             self.state = "hung"
             if self.impaired_since is None:
                 self.impaired_since = now
-            emit_event("shard.hang", shard=self.shard_id,
-                       until_ms=self.hang_until)
+            traced_event("shard.hang", shard=self.shard_id,
+                         until_ms=self.hang_until)
 
     def kill(self, now: float, *, cause: str = "scheduled") -> None:
         """Crash the shard (fault-injected or ``--kill-shard`` scheduled)."""
@@ -202,8 +199,8 @@ class ShardWorker:
         self.state = "down"
         if self.impaired_since is None:
             self.impaired_since = now
-        emit_event("shard.crash", shard=self.shard_id, cause=cause,
-                   at_ms=now)
+        traced_event("shard.crash", shard=self.shard_id, cause=cause,
+                     at_ms=now)
 
     def restart(self, now: float) -> None:
         """Supervised restart: enter the re-warm phase (not yet serving)."""
@@ -211,8 +208,8 @@ class ShardWorker:
             return
         self.state = "rewarming"
         self.rewarm_until = now + self.rewarm_ms
-        emit_event("shard.restart", shard=self.shard_id, at_ms=now,
-                   ready_ms=self.rewarm_until)
+        traced_event("shard.restart", shard=self.shard_id, at_ms=now,
+                     ready_ms=self.rewarm_until)
 
     def begin_rewarm(self, now: float) -> None:
         """Force the re-warm phase from whatever state the worker is in.
@@ -236,8 +233,8 @@ class ShardWorker:
             return
         self.state = "rewarming"
         self.rewarm_until = now + self.rewarm_ms
-        emit_event("shard.rewarm_forced", shard=self.shard_id, at_ms=now,
-                   ready_ms=self.rewarm_until)
+        traced_event("shard.rewarm_forced", shard=self.shard_id, at_ms=now,
+                     ready_ms=self.rewarm_until)
 
     def complete_rewarm(self, hot_ids_by_slice: dict) -> int:
         """Replay the hot-row set; returns rows re-warmed. State -> up.
@@ -264,7 +261,7 @@ class ShardWorker:
         self.state = "up"
         self.rewarm_until = -1.0
         self.impaired_since = None
-        emit_event("shard.rewarmed", shard=self.shard_id, rows=total)
+        traced_event("shard.rewarmed", shard=self.shard_id, rows=total)
         return total
 
     def _tick_state(self, now: float) -> None:
@@ -313,8 +310,8 @@ class ShardWorker:
         if self.injector is not None and self.injector.fires("shard.slow"):
             self._slows.inc()
             self._pending_penalty_ms = self.slow_penalty_ms
-            emit_event("shard.slow", shard=self.shard_id,
-                       penalty_ms=self.slow_penalty_ms)
+            traced_event("shard.slow", shard=self.shard_id,
+                         penalty_ms=self.slow_penalty_ms)
         if self._pending_penalty_ms:
             sim_ms += self._pending_penalty_ms
             self._pending_penalty_ms = 0.0
@@ -326,11 +323,13 @@ class ShardWorker:
         out = {}
         for sl, indices, offsets in requests:
             ladder = self.ladders[(sl.table, sl.row_lo)]
-            pooled, rung = ladder.serve(indices, offsets)
+            with traced_span("shard.slice", shard=str(self.shard_id),
+                             slice=sl.describe()):
+                pooled, rung = ladder.serve(indices, offsets)
+                annotate_span(rung=rung, indices=int(indices.size))
             out[(sl.table, sl.row_lo)] = (pooled, rung)
         self._dispatches.inc()
         self._service_hist.observe(sim_ms)
-        self.service_samples.append(sim_ms)
         return out, sim_ms
 
     # ------------------------------------------------------------------ #

@@ -33,6 +33,8 @@ __all__ = [
     "install_sink",
     "uninstall_sink",
     "get_sink",
+    "set_event_recorder",
+    "get_event_recorder",
     "emit_event",
     "read_events",
     "validate_event",
@@ -124,10 +126,28 @@ def get_sink() -> JsonlSink | None:
     return _SINK
 
 
+# Optional second consumer: the flight recorder's bounded event ring
+# (repro.telemetry.flightrec). Decoupled from the sink so trigger-driven
+# dumps work even when no JSONL sink is installed.
+_RECORDER = None
+
+
+def set_event_recorder(recorder) -> None:
+    """Install (or with ``None`` remove) the flight-recorder event feed."""
+    global _RECORDER
+    _RECORDER = recorder
+
+
+def get_event_recorder():
+    return _RECORDER
+
+
 def emit_event(etype: str, **data) -> None:
     """Emit to the installed sink; free when none is installed."""
     if _SINK is not None:
         _SINK.emit(etype, **data)
+    if _RECORDER is not None:
+        _RECORDER.record_event(etype, data)
 
 
 # ---------------------------------------------------------------------- #

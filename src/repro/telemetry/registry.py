@@ -109,6 +109,46 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) of the stream.
+
+        Walks the cumulative bucket counts to the bucket containing the
+        target rank, then **interpolates linearly within that bucket**
+        (assuming observations are uniform inside it) instead of
+        snapping to the bucket's upper edge — the naive estimate that
+        biases p99 upward by up to a full bucket width. The interpolated
+        estimate is additionally clamped to the observed ``[min, max]``,
+        so the error bound is::
+
+            |quantile(q) - exact| <= width of the containing bucket
+                                     (tight: 0 when the bucket holds a
+                                      single distinct value, and the
+                                      q=0 / q=1 ends are exact)
+
+        where the first bucket's lower edge is the observed minimum and
+        the overflow bucket's upper edge is the observed maximum.
+        Returns 0.0 on an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cum = 0
+        lo = self.min
+        edges = [*self.bounds, self.max]
+        for i, hi in enumerate(edges):
+            n = self.bucket_counts[i]
+            if n and cum + n >= target:
+                lo_edge = max(lo, self.min)
+                hi_edge = max(min(hi, self.max), lo_edge)
+                frac = (target - cum) / n
+                est = lo_edge + frac * (hi_edge - lo_edge)
+                return min(max(est, self.min), self.max)
+            cum += n
+            lo = hi
+        return self.max  # pragma: no cover - ranks always land in a bucket
+
     def reset(self) -> None:
         self.count = 0
         self.total = 0.0

@@ -32,6 +32,7 @@ __all__ = [
     "enable_tracing",
     "disable_tracing",
     "tracing_enabled",
+    "set_trace_hook",
 ]
 
 
@@ -197,6 +198,19 @@ class Tracer:
 
 _TRACER = Tracer()
 
+# Optional interception point for distributed request tracing: while a
+# request-trace scope is active (repro.telemetry.tracing), every trace()
+# call routes through the hook so legacy spans (tt.*, cache.*) land in
+# the active request traces too. None whenever no scope is active, so
+# the disabled fast path stays one extra global load + None check.
+_HOOK = None
+
+
+def set_trace_hook(hook) -> None:
+    """Install (or with ``None`` remove) the global trace() interceptor."""
+    global _HOOK
+    _HOOK = hook
+
 
 def get_tracer() -> Tracer:
     """The process-wide default tracer all components share."""
@@ -205,6 +219,8 @@ def get_tracer() -> Tracer:
 
 def trace(name: str, **attrs) -> _Span | _NoopSpan:
     """Open a span on the default tracer (no-op while tracing is off)."""
+    if _HOOK is not None:
+        return _HOOK(name, attrs)
     if not _TRACER.enabled:
         return _NOOP
     return _Span(_TRACER, _span_name(name, attrs))

@@ -1,0 +1,507 @@
+"""Deterministic distributed request tracing (``repro.trace/v1``).
+
+PR-2's :mod:`~repro.telemetry.tracer` aggregates spans into a tree of
+count/total statistics — it answers "where does time go on average" but
+cannot explain one slow request. This module adds the per-request view:
+a :class:`TraceContext` started at admission follows the request through
+the queue, the router's fan-out (``shard.dispatch``), each slice's
+ladder (``serving.pooled``) and down into the ``tt.plan`` /
+``tt.forward.*`` kernel spans, producing one span tree per sampled
+request, emitted as JSONL (one span per line, schema ``repro.trace/v1``).
+
+Everything is **deterministic by construction** so two same-seed runs
+produce byte-identical trace files:
+
+- trace ids are splitmix64 hashes of ``(seed, request_id)`` — no
+  ambient entropy (the DET003 rule the sharded tier lives under);
+- span ids are per-trace open-order counters;
+- timestamps come from the run's :class:`~repro.serving.queue.ManualClock`
+  (simulated milliseconds), never ``perf_counter``.
+
+Propagation model: the serving code path is single-threaded, so instead
+of threading a context argument through every layer, the process-wide
+:class:`RequestTracer` holds the *active* contexts — the sampled
+requests of the batch currently being served. ``scope(ctxs)`` activates
+them around a batch; :func:`traced_span` / :func:`traced_event` (the
+propagation helpers lint rule OBS001 enforces inside ``serving/`` and
+``sharding/``) record into every active trace *and* keep feeding the
+aggregate tracer; a hook installed into
+:func:`repro.telemetry.tracer.trace` captures legacy spans (``tt.*``,
+``cache.*``) without touching kernel code. While no scope is active all
+helpers collapse to the PR-2 no-op fast path, keeping the disabled-mode
+overhead within the <5% budget.
+
+Span record::
+
+    {"schema": "repro.trace/v1", "trace_id": "9f…", "span_id": 2,
+     "parent_id": 1, "name": "shard.dispatch", "start_ms": 12.5,
+     "end_ms": 13.5, "attrs": {"shard": 1, "breaker": "closed"}}
+
+``parent_id`` is ``null`` for the root (``request``) span.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.telemetry import tracer as _tracer_mod
+from repro.telemetry.events import _json_safe, emit_event
+from repro.telemetry.tracer import _Span, _span_name, set_trace_hook
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "TraceContext",
+    "RequestTracer",
+    "get_request_tracer",
+    "traced_span",
+    "traced_event",
+    "annotate_span",
+    "finish_request",
+    "read_trace",
+    "validate_trace_record",
+    "trace_duration_ms",
+    "build_trace_tree",
+    "critical_path",
+    "slowest_traces",
+    "format_trace_tree",
+]
+
+TRACE_SCHEMA = "repro.trace/v1"
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """The admission sanitizer's mixer: deterministic 64-bit avalanche."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+class TraceContext:
+    """One live request trace: its id, spans, and the open-span stack."""
+
+    __slots__ = ("trace_id", "request_id", "spans", "_stack", "_next_id")
+
+    def __init__(self, trace_id: str, request_id: int):
+        self.trace_id = trace_id
+        self.request_id = request_id
+        self.spans: list[dict] = []
+        self._stack: list[dict] = []
+        self._next_id = 1
+
+    # ------------------------------------------------------------------ #
+
+    def _make(self, name: str, attrs: dict | None, start: float,
+              end: float, parent: int | None) -> dict:
+        rec = {
+            "span_id": self._next_id,
+            "parent_id": parent,
+            "name": name,
+            "start_ms": float(start),
+            "end_ms": float(end),
+            "attrs": _json_safe(attrs) if attrs else {},
+        }
+        self._next_id += 1
+        self.spans.append(rec)
+        return rec
+
+    def open_span(self, name: str, attrs: dict | None, now: float) -> dict:
+        parent = self._stack[-1]["span_id"] if self._stack else None
+        rec = self._make(name, attrs, now, now, parent)
+        self._stack.append(rec)
+        return rec
+
+    def close_span(self, rec: dict, now: float) -> None:
+        rec["end_ms"] = float(now)
+        if self._stack and self._stack[-1] is rec:
+            self._stack.pop()
+        elif rec in self._stack:  # unbalanced exit; keep the tree sane
+            self._stack.remove(rec)
+
+    def record_span(self, name: str, start_ms: float, end_ms: float,
+                    **attrs) -> dict:
+        """A retroactive, already-closed span (e.g. ``queue.wait``)."""
+        parent = self._stack[-1]["span_id"] if self._stack else None
+        return self._make(name, attrs, start_ms, end_ms, parent)
+
+    def record_event(self, etype: str, data: dict, now: float) -> dict:
+        """An instantaneous event as a zero-duration span."""
+        parent = self._stack[-1]["span_id"] if self._stack else None
+        return self._make(f"event:{etype}", data, now, now, parent)
+
+    def annotate(self, attrs: dict) -> None:
+        """Merge attributes into the innermost open span."""
+        if self._stack:
+            self._stack[-1]["attrs"].update(_json_safe(attrs))
+
+    def close_all(self, now: float) -> None:
+        while self._stack:
+            self.close_span(self._stack[-1], now)
+
+
+class _NullScope:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class _Scope:
+    __slots__ = ("rt", "ctxs")
+
+    def __init__(self, rt: "RequestTracer", ctxs: list[TraceContext]):
+        self.rt = rt
+        self.ctxs = ctxs
+
+    def __enter__(self):
+        self.rt._push_scope(self.ctxs)
+        return self
+
+    def __exit__(self, *exc):
+        self.rt._pop_scope()
+        return False
+
+
+class _CombinedSpan:
+    """One span recorded into every active trace + the aggregate tracer."""
+
+    __slots__ = ("rt", "name", "attrs", "_agg", "_recs")
+
+    def __init__(self, rt: "RequestTracer", name: str, attrs: dict):
+        self.rt = rt
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self):
+        agg = _tracer_mod._TRACER
+        if agg.enabled:
+            self._agg = _Span(agg, _span_name(self.name, self.attrs))
+            self._agg.__enter__()
+        else:
+            self._agg = None
+        now = self.rt._now()
+        self._recs = [(ctx, ctx.open_span(self.name, self.attrs, now))
+                      for ctx in self.rt._active]
+        return self
+
+    def __exit__(self, *exc):
+        now = self.rt._now()
+        for ctx, rec in self._recs:
+            ctx.close_span(rec, now)
+        if self._agg is not None:
+            self._agg.__exit__(*exc)
+        return False
+
+
+class RequestTracer:
+    """Process-wide owner of request-trace sampling, scopes, and output.
+
+    Off until :meth:`configure` is called (``enabled`` False, every
+    entry point an early-out); :meth:`shutdown` returns it to that
+    state and closes the JSONL file.
+    """
+
+    def __init__(self):
+        self._sample = 0
+        self._seed_mix = 0
+        self._clock = None
+        self._fh = None
+        self.path: str | None = None
+        self._active: list[TraceContext] = []
+        self._scopes: list[list[TraceContext]] = []
+        self.started = 0
+        self.finished = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def enabled(self) -> bool:
+        return self._sample > 0
+
+    def configure(self, *, sample_every: int = 1,
+                  path: str | os.PathLike | None = None,
+                  clock=None, seed: int = 0) -> None:
+        """Enable tracing: sample every Nth request id, write JSONL.
+
+        ``clock`` is the run's ManualClock (or any ms callable); with
+        none, every timestamp is 0.0 — still deterministic, just flat.
+        The output file is truncated, so same-seed runs are
+        byte-identical end to end.
+        """
+        if sample_every < 1:
+            raise ValueError(
+                f"sample_every must be >= 1, got {sample_every}"
+            )
+        self.shutdown()
+        self._sample = sample_every
+        self._seed_mix = _splitmix64(seed & _MASK64)
+        self._clock = clock
+        if path is not None:
+            self.path = os.fspath(path)
+            self._fh = open(self.path, "w")
+
+    def shutdown(self) -> None:
+        """Disable tracing, close the sink, drop any dangling scopes."""
+        if self._fh is not None:
+            self._fh.close()
+        self._fh = None
+        self.path = None
+        self._sample = 0
+        self._clock = None
+        self._active = []
+        self._scopes = []
+        set_trace_hook(None)
+
+    def _now(self) -> float:
+        clock = self._clock
+        return float(clock()) if clock is not None else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Trace lifecycle
+    # ------------------------------------------------------------------ #
+
+    def maybe_start(self, request_id: int,
+                    now: float | None = None) -> TraceContext | None:
+        """Start a trace when the request id is sampled, else ``None``."""
+        if (not self._sample or request_id is None
+                or request_id % self._sample):
+            return None
+        trace_id = format(
+            _splitmix64(self._seed_mix ^ (request_id & _MASK64)), "016x"
+        )
+        ctx = TraceContext(trace_id, request_id)
+        ctx.open_span("request", {"request_id": request_id},
+                      self._now() if now is None else now)
+        self.started += 1
+        return ctx
+
+    def finish(self, ctx: TraceContext | None, status: str, *,
+               now: float | None = None, **attrs) -> None:
+        """Close a trace (root span gets ``status`` + attrs), write it."""
+        if ctx is None:
+            return
+        now = self._now() if now is None else float(now)
+        root = ctx.spans[0]
+        root["attrs"].update(_json_safe({"status": status, **attrs}))
+        ctx.close_all(now)
+        self.finished += 1
+        if self._fh is not None:
+            for rec in ctx.spans:
+                line = {"schema": TRACE_SCHEMA, "trace_id": ctx.trace_id,
+                        **rec}
+                self._fh.write(json.dumps(line, sort_keys=True) + "\n")
+            self._fh.flush()
+        from repro.telemetry.flightrec import get_flight_recorder
+
+        recorder = get_flight_recorder()
+        if recorder is not None:
+            recorder.record_trace(ctx.trace_id, ctx.spans)
+
+    # ------------------------------------------------------------------ #
+    # Scopes (the propagation mechanism)
+    # ------------------------------------------------------------------ #
+
+    def scope(self, ctxs) -> _Scope | _NullScope:
+        """Activate contexts for the dynamic extent of a ``with`` block."""
+        live = [c for c in ctxs if c is not None]
+        if not live:
+            return _NULL_SCOPE
+        return _Scope(self, live)
+
+    def _push_scope(self, ctxs: list[TraceContext]) -> None:
+        self._scopes.append(self._active)
+        self._active = ctxs
+        set_trace_hook(_hook)
+
+    def _pop_scope(self) -> None:
+        self._active = self._scopes.pop() if self._scopes else []
+        if not self._active:
+            set_trace_hook(None)
+
+    def event(self, etype: str, data: dict) -> None:
+        now = self._now()
+        for ctx in self._active:
+            ctx.record_event(etype, data, now)
+
+
+_REQUEST_TRACER = RequestTracer()
+
+
+def get_request_tracer() -> RequestTracer:
+    """The process-wide request tracer (off until configured)."""
+    return _REQUEST_TRACER
+
+
+def _hook(name: str, attrs: dict) -> _CombinedSpan:
+    return _CombinedSpan(_REQUEST_TRACER, name, attrs)
+
+
+def traced_span(name: str, **attrs):
+    """The propagation-aware span helper (OBS001's required entry point).
+
+    Inside an active request-trace scope, the span lands in every
+    sampled trace of the batch *and* the aggregate tracer; otherwise it
+    is exactly :func:`repro.telemetry.trace`.
+    """
+    rt = _REQUEST_TRACER
+    if rt._active:
+        return _CombinedSpan(rt, name, attrs)
+    return _tracer_mod.trace(name, **attrs)
+
+
+def traced_event(etype: str, **data) -> None:
+    """Emit an event that carries the active trace context, if any.
+
+    With a scope active the emitted record gains ``trace_id`` (one
+    active trace) or ``trace_ids`` (a batch of them), and the event is
+    mirrored into each trace as a zero-duration ``event:<type>`` span —
+    which is how a flight-recorder dump links a breaker transition back
+    to the requests in flight when it happened.
+    """
+    rt = _REQUEST_TRACER
+    if not rt._active:
+        emit_event(etype, **data)
+        return
+    ids = sorted({ctx.trace_id for ctx in rt._active})
+    rt.event(etype, data)
+    if len(ids) == 1:
+        emit_event(etype, trace_id=ids[0], **data)
+    else:
+        emit_event(etype, trace_ids=ids, **data)
+
+
+def annotate_span(**attrs) -> None:
+    """Add attributes to the innermost open span of every active trace."""
+    rt = _REQUEST_TRACER
+    if rt._active:
+        for ctx in rt._active:
+            ctx.annotate(attrs)
+
+
+def finish_request(req, status: str, *, now: float | None = None,
+                   **attrs) -> None:
+    """Finish the trace attached to a request object (if it has one)."""
+    ctx = getattr(req, "trace_ctx", None)
+    if ctx is not None:
+        req.trace_ctx = None
+        _REQUEST_TRACER.finish(ctx, status, now=now, **attrs)
+
+
+# ---------------------------------------------------------------------- #
+# Reading, validation, and the `repro trace` views
+# ---------------------------------------------------------------------- #
+
+def validate_trace_record(rec: dict) -> None:
+    """Raise ``ValueError`` unless ``rec`` is a valid trace span line."""
+    if not isinstance(rec, dict):
+        raise ValueError(f"span must be an object, got {type(rec).__name__}")
+    if rec.get("schema") != TRACE_SCHEMA:
+        raise ValueError(f"unknown trace schema: {rec.get('schema')!r}")
+    for key, typ in (("trace_id", str), ("span_id", int), ("name", str),
+                     ("start_ms", (int, float)), ("end_ms", (int, float)),
+                     ("attrs", dict)):
+        if not isinstance(rec.get(key), typ):
+            raise ValueError(
+                f"span field {key!r} must be {typ}, got {rec.get(key)!r}"
+            )
+    parent = rec.get("parent_id")
+    if parent is not None and not isinstance(parent, int):
+        raise ValueError(f"parent_id must be int or null, got {parent!r}")
+    if rec["end_ms"] < rec["start_ms"]:
+        raise ValueError(
+            f"span ends before it starts: {rec['start_ms']} > {rec['end_ms']}"
+        )
+
+
+def read_trace(path: str | os.PathLike) -> dict[str, list[dict]]:
+    """Parse a ``repro.trace/v1`` JSONL file into trace_id -> spans."""
+    traces: dict[str, list[dict]] = {}
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            validate_trace_record(rec)
+            traces.setdefault(rec["trace_id"], []).append(rec)
+    for spans in traces.values():
+        spans.sort(key=lambda r: r["span_id"])
+    return traces
+
+
+def trace_duration_ms(spans: list[dict]) -> float:
+    """Root-span duration of one trace (its end-to-end latency)."""
+    root = spans[0]
+    return root["end_ms"] - root["start_ms"]
+
+
+def build_trace_tree(spans: list[dict]) -> dict[int | None, list[dict]]:
+    """Parent span id -> children, in span-id order."""
+    children: dict[int | None, list[dict]] = {}
+    for rec in spans:
+        children.setdefault(rec["parent_id"], []).append(rec)
+    return children
+
+
+def critical_path(spans: list[dict]) -> list[dict]:
+    """Root-to-leaf chain choosing the longest child at every level."""
+    children = build_trace_tree(spans)
+    roots = children.get(None, [])
+    if not roots:
+        return []
+    path = [roots[0]]
+    while True:
+        kids = children.get(path[-1]["span_id"], [])
+        if not kids:
+            return path
+        path.append(max(kids,
+                        key=lambda r: (r["end_ms"] - r["start_ms"],
+                                       -r["span_id"])))
+
+
+def slowest_traces(traces: dict[str, list[dict]],
+                   n: int = 10) -> list[tuple[str, list[dict]]]:
+    """Top-N traces by root duration (ties broken by trace id)."""
+    ranked = sorted(traces.items(),
+                    key=lambda kv: (-trace_duration_ms(kv[1]), kv[0]))
+    return ranked[:n]
+
+
+def _attr_text(attrs: dict, limit: int = 60) -> str:
+    if not attrs:
+        return ""
+    inner = ",".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+    if len(inner) > limit:
+        inner = inner[: limit - 1] + "…"
+    return f"[{inner}]"
+
+
+def format_trace_tree(trace_id: str, spans: list[dict]) -> str:
+    """Human-readable indented span tree for one trace."""
+    children = build_trace_tree(spans)
+    lines = [f"trace {trace_id}  "
+             f"({len(spans)} spans, {trace_duration_ms(spans):.2f} ms)"]
+
+    def walk(rec: dict, depth: int) -> None:
+        dur = rec["end_ms"] - rec["start_ms"]
+        lines.append(
+            f"  {'  ' * depth}{rec['name']}{_attr_text(rec['attrs'])} "
+            f"+{rec['start_ms']:.2f} ms ({dur:.2f} ms)"
+        )
+        for kid in children.get(rec["span_id"], []):
+            walk(kid, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    return "\n".join(lines)

@@ -43,7 +43,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.telemetry import get_registry, trace
+from repro.telemetry import annotate_span, get_registry, trace
 from repro.tt.shapes import TTShape
 
 __all__ = [
@@ -321,6 +321,9 @@ class ExecutionPlanner:
             else:
                 uniq, inverse = indices, None
             decoded = self.shape.decode_indices(uniq)
+            # Request traces see the dedup effectiveness per batch; the
+            # aggregate tracer only folds counts, so this is trace-only.
+            annotate_span(rows=n, unique=int(decoded.shape[1]))
         n_unique = int(decoded.shape[1])
         baseline = n * self._l2r.flops_per_row
         planned = n_unique * schedule.flops_per_row

@@ -1,0 +1,12 @@
+"""OBS001 fixture: raw telemetry calls inside the serving tier."""
+
+from repro.telemetry import emit_event, trace
+from repro.telemetry.tracer import get_tracer
+
+
+def handle(batch):
+    with trace("serving.batch", size=len(batch)):
+        emit_event("serving.final_guard", count=0)
+    tracer = get_tracer()
+    with tracer.span("serving.towers"):
+        return batch

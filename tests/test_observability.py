@@ -1,0 +1,574 @@
+"""Tests for the ISSUE-7 observability plane.
+
+The acceptance spec: sampled requests produce span trees crossing
+router -> shard dispatch -> slice ladder -> TT kernels with correct
+parentage; two same-seed chaos runs (including ``--kill-shard``) emit
+byte-identical ``repro.trace/v1`` files, identical SLO verdicts, and
+byte-identical flight-recorder dumps; the SLO engine fires multi-window
+burn-rate episodes with exemplar trace ids; and the interpolated
+histogram quantile stays within one bucket width of the exact
+percentile.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data import KAGGLE
+from repro.inference import Predictor
+from repro.models import DLRMConfig, TTConfig, build_ttrec
+from repro.serving import (
+    InferenceServer,
+    ManualClock,
+    ServerConfig,
+    run_load,
+)
+from repro.sharding import (
+    ShardConfig,
+    ShardRouter,
+    parse_kill_spec,
+    run_sharded_load,
+)
+from repro.telemetry import (
+    REPORT_SCHEMA,
+    TRACE_SCHEMA,
+    FlightRecorder,
+    SLOEngine,
+    format_report,
+    format_trace_tree,
+    get_registry,
+    get_request_tracer,
+    install_flight_recorder,
+    load_policy,
+    read_trace,
+    slowest_traces,
+    trace_duration_ms,
+    traced_event,
+    traced_span,
+    uninstall_flight_recorder,
+    validate_trace_record,
+)
+from repro.telemetry.registry import Histogram
+
+SPEC = KAGGLE.scaled(0.0003)
+CFG = DLRMConfig(table_sizes=SPEC.table_sizes, emb_dim=8,
+                 bottom_mlp=(16,), top_mlp=(16,))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_telemetry():
+    reg = get_registry()
+    reg.reset(prefix="serving.")
+    reg.reset(prefix="shard.")
+    yield
+    get_request_tracer().shutdown()
+    uninstall_flight_recorder()
+    reg.reset(prefix="serving.")
+    reg.reset(prefix="shard.")
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    tt = TTConfig(rank=4, use_cache=False, plan_policy="fixed")
+    model = build_ttrec(CFG, num_tt_tables=5, tt=tt, min_rows=50, rng=0)
+    return Predictor(model)
+
+
+def drill_policy() -> dict:
+    """Loose gated availability + tight non-gating fidelity objective."""
+    return {
+        "schema": "repro.slo/v1",
+        "objectives": [
+            {"name": "availability", "metric": "availability",
+             "target": 0.9,
+             "windows": [{"ms": 100, "max_burn": 8.0},
+                         {"ms": 1000, "max_burn": 4.0}]},
+            {"name": "full-fidelity", "metric": "degraded",
+             "target": 0.999, "gate": False,
+             "windows": [{"ms": 100, "max_burn": 2.0},
+                         {"ms": 400, "max_burn": 2.0}]},
+        ],
+    }
+
+
+def run_drill(predictor, tmp_path, tag, *, kill="1@60ms",
+              trace_sample=5, requests=150):
+    """One sharded chaos run with tracing + SLO + flight recorder armed."""
+    clock = ManualClock()
+    trace_path = tmp_path / f"trace-{tag}.jsonl"
+    flight_dir = tmp_path / f"flight-{tag}"
+    rt = get_request_tracer()
+    rt.configure(sample_every=trace_sample, path=trace_path,
+                 clock=clock.now, seed=0)
+    install_flight_recorder(FlightRecorder(flight_dir, clock=clock.now))
+    slo = SLOEngine(load_policy(drill_policy()), min_count=10)
+    router = ShardRouter(
+        predictor,
+        config=ServerConfig(default_deadline_ms=100.0, cooldown=10),
+        shard_config=ShardConfig(num_shards=3),
+        clock=clock,
+    )
+    report = run_sharded_load(
+        router, num_requests=requests, deadline_ms=100.0, seed=0,
+        clock=clock, slo=slo,
+        kill_specs=[parse_kill_spec(kill)] if kill else None,
+    )
+    rt.shutdown()
+    uninstall_flight_recorder()
+    return report, trace_path, flight_dir
+
+
+# ---------------------------------------------------------------------- #
+# Histogram quantile interpolation (satellite 1)
+# ---------------------------------------------------------------------- #
+
+class TestHistogramQuantile:
+    def _bucket_width(self, hist: Histogram, value: float) -> float:
+        lo = hist.min
+        for hi in [*hist.bounds, hist.max]:
+            if value <= hi:
+                return max(min(hi, hist.max) - max(lo, hist.min), 0.0)
+            lo = hi
+        return hist.max - lo
+
+    def test_interpolation_within_bucket_width_of_exact(self):
+        rng = np.random.default_rng(7)
+        values = rng.exponential(20.0, size=2000)
+        hist = Histogram()
+        for v in values:
+            hist.observe(float(v))
+        for q in (0.10, 0.25, 0.50, 0.90, 0.95, 0.99):
+            exact = float(np.percentile(values, q * 100))
+            err = abs(hist.quantile(q) - exact)
+            assert err <= self._bucket_width(hist, exact) + 1e-9, \
+                f"q={q}: err {err} exceeds bucket width"
+
+    def test_edges_are_exact(self):
+        hist = Histogram()
+        for v in (3.0, 7.0, 11.0, 400.0):
+            hist.observe(v)
+        assert hist.quantile(0.0) == 3.0
+        assert hist.quantile(1.0) == 400.0
+
+    def test_single_value_bucket_is_exact(self):
+        hist = Histogram()
+        for _ in range(100):
+            hist.observe(42.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 42.0
+
+    def test_empty_and_validation(self):
+        hist = Histogram()
+        assert hist.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+
+# ---------------------------------------------------------------------- #
+# Request tracing core
+# ---------------------------------------------------------------------- #
+
+class TestRequestTracer:
+    def test_sampling_and_deterministic_ids(self, tmp_path):
+        rt = get_request_tracer()
+        rt.configure(sample_every=3, seed=11)
+        assert rt.maybe_start(1) is None
+        ctx = rt.maybe_start(3)
+        assert ctx is not None and len(ctx.trace_id) == 16
+        rt.configure(sample_every=3, seed=11)
+        again = rt.maybe_start(3)
+        assert again.trace_id == ctx.trace_id
+        rt.configure(sample_every=3, seed=12)
+        assert rt.maybe_start(3).trace_id != ctx.trace_id
+        assert rt.maybe_start(None) is None
+
+    def test_disabled_mode_is_inert(self):
+        rt = get_request_tracer()
+        assert not rt.enabled
+        assert rt.maybe_start(0) is None
+        with traced_span("serving.batch", batch_size=4):
+            pass  # no scope active: falls back to the aggregate no-op
+        traced_event("serving.breaker", breaker="t0", to_state="open")
+
+    def test_combined_span_parentage_and_output(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        clock = ManualClock()
+        rt = get_request_tracer()
+        rt.configure(sample_every=1, path=path, clock=clock.now, seed=0)
+        ctx = rt.maybe_start(0, now=clock.now())
+        with rt.scope([ctx]):
+            clock.advance(1.0)
+            with traced_span("serving.batch"):
+                with traced_span("shard.dispatch", shard="1"):
+                    clock.advance(2.0)
+                traced_event("shard.failover", shard=1)
+        rt.finish(ctx, "served", now=clock.now(), latency_ms=3.0)
+        rt.shutdown()
+        traces = read_trace(path)
+        assert len(traces) == 1
+        spans = next(iter(traces.values()))
+        for rec in spans:
+            validate_trace_record(rec)
+        by_name = {s["name"]: s for s in spans}
+        root = by_name["request"]
+        assert root["parent_id"] is None
+        assert root["attrs"]["status"] == "served"
+        assert by_name["serving.batch"]["parent_id"] == root["span_id"]
+        assert (by_name["shard.dispatch"]["parent_id"]
+                == by_name["serving.batch"]["span_id"])
+        assert (by_name["event:shard.failover"]["parent_id"]
+                == by_name["serving.batch"]["span_id"])
+        assert trace_duration_ms(spans) == pytest.approx(3.0)
+
+    def test_trace_views(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        clock = ManualClock()
+        rt = get_request_tracer()
+        rt.configure(sample_every=1, path=path, clock=clock.now, seed=0)
+        for rid, dur in ((0, 5.0), (1, 9.0), (2, 1.0)):
+            ctx = rt.maybe_start(rid, now=clock.now())
+            clock.advance(dur)
+            rt.finish(ctx, "served", now=clock.now())
+        rt.shutdown()
+        traces = read_trace(path)
+        ranked = slowest_traces(traces, 2)
+        assert [trace_duration_ms(spans) for _, spans in ranked] == [9.0, 5.0]
+        text = format_trace_tree(*ranked[0])
+        assert "request" in text and "9.00 ms" in text
+
+
+# ---------------------------------------------------------------------- #
+# End-to-end: the sharded chaos drill
+# ---------------------------------------------------------------------- #
+
+class TestShardedDrill:
+    def test_spans_cross_every_layer_with_correct_parentage(
+            self, predictor, tmp_path):
+        report, trace_path, _ = run_drill(predictor, tmp_path, "layers")
+        traces = read_trace(trace_path)
+        assert traces, "sampled drill produced no traces"
+        deep = None
+        for spans in traces.values():
+            names = {s["name"] for s in spans}
+            if {"shard.dispatch", "shard.slice", "serving.pooled"} <= names:
+                deep = spans
+                break
+        assert deep is not None, "no trace crossed into the slice ladder"
+        by_id = {s["span_id"]: s for s in deep}
+
+        def chain(rec):
+            names = []
+            while rec is not None:
+                names.append(rec["name"])
+                parent = rec["parent_id"]
+                rec = by_id[parent] if parent is not None else None
+            return names
+
+        pooled = next(s for s in deep if s["name"] == "serving.pooled")
+        assert chain(pooled) == ["serving.pooled", "shard.slice",
+                                 "shard.dispatch", "serving.batch",
+                                 "request"]
+        kernel = next((s for s in deep if s["name"].startswith("tt.")),
+                      None)
+        assert kernel is not None, "kernel spans missing from the trace"
+        assert "serving.pooled" in chain(kernel)
+        waits = [s for s in deep if s["name"] == "queue.wait"]
+        assert waits and all(
+            by_id[w["parent_id"]]["name"] == "request" for w in waits
+        )
+
+    def test_served_responses_carry_trace_ids(self, predictor, tmp_path):
+        report, trace_path, _ = run_drill(predictor, tmp_path, "ids",
+                                          kill=None)
+        traces = read_trace(trace_path)
+        assert report["served"] == 150
+        assert len(traces) == 30  # 150 requests, every 5th sampled
+
+    def test_same_seed_runs_are_byte_identical(self, predictor, tmp_path):
+        r1, t1, f1 = run_drill(predictor, tmp_path, "a")
+        r2, t2, f2 = run_drill(predictor, tmp_path, "b")
+        assert t1.read_bytes() == t2.read_bytes()
+        assert r1["slo"] == r2["slo"]
+        d1 = sorted(p.name for p in f1.iterdir())
+        d2 = sorted(p.name for p in f2.iterdir())
+        assert d1 == d2 and d1, "flight dumps missing or mismatched"
+        for name in d1:
+            assert (f1 / name).read_bytes() == (f2 / name).read_bytes()
+
+    def test_kill_produces_slo_violation_with_resolvable_exemplars(
+            self, predictor, tmp_path):
+        report, trace_path, flight_dir = run_drill(
+            predictor, tmp_path, "slo")
+        slo = report["slo"]
+        assert slo["schema"] == REPORT_SCHEMA
+        assert slo["gate_passed"] is True  # gated objectives have slack
+        fidelity = next(o for o in slo["objectives"]
+                        if o["objective"]["name"] == "full-fidelity")
+        assert not fidelity["compliant"] and fidelity["episodes"]
+        exemplars = [e for ep in fidelity["episodes"]
+                     for e in ep["exemplar_trace_ids"]]
+        assert exemplars
+        traces = read_trace(trace_path)
+        resolvable = [e for e in exemplars if e in traces]
+        assert resolvable, f"no exemplar resolves in the trace file: " \
+                           f"{exemplars}"
+
+    def test_flight_recorder_dumps_on_shard_down(self, predictor,
+                                                 tmp_path):
+        report, _, flight_dir = run_drill(predictor, tmp_path, "fr")
+        dumps = sorted(p.name for p in flight_dir.iterdir())
+        assert "flightrec-shard-down.json" in dumps
+        doc = json.loads(
+            (flight_dir / "flightrec-shard-down.json").read_text())
+        assert doc["schema"] == "repro.flightrec/v1"
+        assert any(e["type"] == "shard.marked_down" for e in doc["events"])
+        seqs = [e["seq"] for e in doc["events"]]
+        assert seqs == sorted(seqs)
+        assert doc["counters_delta"], "counter deltas missing"
+
+    def test_reconciliation_survives_observability(self, predictor,
+                                                   tmp_path):
+        report, _, _ = run_drill(predictor, tmp_path, "recon", kill=None)
+        recon = report["reconciliation"]
+        lost = recon["checks"]["no_lost_requests"]
+        assert lost["passed"], "exact-ledger semantics regressed"
+
+
+# ---------------------------------------------------------------------- #
+# Loadgen latency bookkeeping (satellite 2)
+# ---------------------------------------------------------------------- #
+
+class TestLoadgenHistograms:
+    def test_run_load_reads_shared_histogram(self):
+        tt = TTConfig(rank=4, use_cache=False)
+        model = build_ttrec(CFG, num_tt_tables=3, tt=tt, min_rows=50,
+                            rng=0)
+        clock = ManualClock()
+        server = InferenceServer(Predictor(model),
+                                 config=ServerConfig(), clock=clock)
+        report = run_load(server, num_requests=60, seed=0, clock=clock)
+        hist = get_registry().histogram("serving.latency_ms")
+        assert hist.count == report["served"]
+        assert report["latency_ms"]["p50"] == hist.quantile(0.50)
+        assert report["latency_ms"]["p99"] == hist.quantile(0.99)
+        assert report["latency_ms"]["max"] == hist.max
+
+
+# ---------------------------------------------------------------------- #
+# SLO engine
+# ---------------------------------------------------------------------- #
+
+def availability_policy(**kw):
+    return load_policy({
+        "schema": "repro.slo/v1",
+        "objectives": [dict({
+            "name": "avail", "metric": "availability", "target": 0.9,
+            "windows": [{"ms": 100, "max_burn": 1.0}],
+        }, **kw)],
+    })
+
+
+class TestSLOEngine:
+    def test_compliant_stream(self):
+        eng = SLOEngine(availability_policy(), min_count=5)
+        for i in range(20):
+            eng.observe("served", now=float(i), latency_ms=1.0)
+        rep = eng.report(20.0)
+        assert rep["compliant"] and rep["gate_passed"]
+        assert rep["objectives"][0]["good"] == 20
+
+    def test_sustained_burn_opens_and_closes_episode(self):
+        eng = SLOEngine(availability_policy(), min_count=5)
+        for i in range(10):
+            eng.observe("shed", now=float(i), request_id=i)
+        for i in range(10, 130):
+            eng.observe("served", now=float(i), latency_ms=1.0)
+        rep = eng.report(130.0)
+        obj = rep["objectives"][0]
+        assert not obj["compliant"]
+        assert len(obj["episodes"]) == 1
+        ep = obj["episodes"][0]
+        assert ep["end_ms"] is not None and ep["exemplar_trace_ids"]
+        assert not rep["gate_passed"]
+
+    def test_short_blip_does_not_trip_multi_window(self):
+        eng = SLOEngine(load_policy({
+            "schema": "repro.slo/v1",
+            "objectives": [{
+                "name": "avail", "metric": "availability", "target": 0.9,
+                "windows": [{"ms": 50, "max_burn": 1.0},
+                            {"ms": 1000, "max_burn": 1.0}],
+            }],
+        }), min_count=5)
+        for i in range(100):
+            eng.observe("served", now=float(i), latency_ms=1.0)
+        for i in range(100, 110):  # 10 bad in the fast window only
+            eng.observe("shed", now=float(i), request_id=i)
+        rep = eng.report(110.0)
+        assert rep["objectives"][0]["compliant"], \
+            "slow window should have vetoed the blip"
+
+    def test_trace_id_exemplars_replace_request_fallbacks(self):
+        eng = SLOEngine(availability_policy(), min_count=2)
+        for i in range(8):
+            eng.observe("shed", now=float(i), request_id=i)
+        eng.observe("shed", now=8.0, trace_id="aaaa000011112222")
+        rep = eng.report(9.0)
+        exemplars = rep["objectives"][0]["episodes"][0][
+            "exemplar_trace_ids"]
+        assert "aaaa000011112222" in exemplars
+        assert len(exemplars) <= 5
+
+    def test_latency_and_staleness_classification(self):
+        eng = SLOEngine(load_policy({
+            "schema": "repro.slo/v1",
+            "objectives": [
+                {"name": "lat", "metric": "latency", "target": 0.5,
+                 "threshold_ms": 10.0,
+                 "windows": [{"ms": 100, "max_burn": 100.0}]},
+                {"name": "fresh", "metric": "staleness", "target": 0.5,
+                 "windows": [{"ms": 100, "max_burn": 100.0}]},
+            ],
+        }), min_count=1)
+        eng.observe("served", now=1.0, latency_ms=5.0)
+        eng.observe("served", now=2.0, latency_ms=50.0)
+        eng.observe("shed", now=3.0)  # latency objective ignores sheds
+        eng.observe("replica_check", now=4.0)
+        eng.observe("staleness", now=5.0, count=3)
+        rep = eng.report(6.0)
+        lat = next(o for o in rep["objectives"]
+                   if o["objective"]["name"] == "lat")
+        fresh = next(o for o in rep["objectives"]
+                     if o["objective"]["name"] == "fresh")
+        assert (lat["good"], lat["bad"]) == (1, 1)
+        assert (fresh["good"], fresh["bad"]) == (1, 3)
+
+    @pytest.mark.parametrize("mutate", [
+        lambda d: d.update(schema="nope"),
+        lambda d: d.update(objectives=[]),
+        lambda d: d["objectives"].append(dict(d["objectives"][0])),
+        lambda d: d["objectives"][0].pop("windows"),
+        lambda d: d["objectives"][0].update(metric="latency"),
+        lambda d: d["objectives"][0].update(target=1.5),
+    ])
+    def test_load_policy_rejects_bad_documents(self, mutate):
+        doc = {
+            "schema": "repro.slo/v1",
+            "objectives": [{
+                "name": "avail", "metric": "availability", "target": 0.9,
+                "windows": [{"ms": 100, "max_burn": 1.0}],
+            }],
+        }
+        mutate(doc)
+        with pytest.raises(ValueError):
+            load_policy(doc)
+
+    def test_format_report_renders_episodes(self):
+        eng = SLOEngine(availability_policy(), min_count=2)
+        for i in range(6):
+            eng.observe("shed", now=float(i), request_id=i)
+        text = format_report(eng.report(6.0))
+        assert "VIOLATED" in text and "req:" in text
+        assert "gate_passed=False" in text
+
+
+# ---------------------------------------------------------------------- #
+# Flight recorder
+# ---------------------------------------------------------------------- #
+
+class TestFlightRecorder:
+    def test_breaker_open_triggers_single_dump(self, tmp_path):
+        clock = ManualClock()
+        rec = install_flight_recorder(
+            FlightRecorder(tmp_path, clock=clock.now, event_ring=4))
+        for i in range(6):
+            traced_event("serving.other", i=i)
+        traced_event("serving.breaker", breaker="t0", from_state="closed",
+                     to_state="open")
+        traced_event("serving.breaker", breaker="t1", from_state="closed",
+                     to_state="open")
+        dump = tmp_path / "flightrec-breaker-open.json"
+        assert dump.is_file()
+        doc = json.loads(dump.read_text())
+        assert len(doc["events"]) <= 4  # bounded ring
+        assert doc["trigger"] == "breaker-open"
+        summ = rec.summary()
+        assert summ["suppressed"] == {"breaker-open": 1}
+        uninstall_flight_recorder()
+
+    def test_half_open_transition_does_not_trigger(self, tmp_path):
+        install_flight_recorder(FlightRecorder(tmp_path))
+        traced_event("serving.breaker", breaker="t0", from_state="open",
+                     to_state="half_open")
+        assert not list(tmp_path.iterdir())
+        uninstall_flight_recorder()
+
+
+# ---------------------------------------------------------------------- #
+# CLI: repro trace / repro slo-report / serve-bench flags
+# ---------------------------------------------------------------------- #
+
+class TestObservabilityCLI:
+    def _write_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        clock = ManualClock()
+        rt = get_request_tracer()
+        rt.configure(sample_every=1, path=path, clock=clock.now, seed=0)
+        ctx = rt.maybe_start(0, now=clock.now())
+        with rt.scope([ctx]):
+            with traced_span("serving.batch"):
+                clock.advance(4.0)
+        rt.finish(ctx, "served", now=clock.now())
+        rt.shutdown()
+        return path
+
+    def test_trace_tree_and_critical_path(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        assert main(["trace", str(path), "--critical-path"]) == 0
+        out = capsys.readouterr().out
+        assert "serving.batch" in out and "critical path" in out
+
+    def test_trace_missing_id_and_file(self, tmp_path):
+        path = self._write_trace(tmp_path)
+        assert main(["trace", str(path), "--trace-id", "beef"]) == 2
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_slo_report_gates_exit_code(self, tmp_path):
+        eng = SLOEngine(availability_policy(), min_count=2)
+        for i in range(6):
+            eng.observe("shed", now=float(i), request_id=i)
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(eng.report(6.0)))
+        assert main(["slo-report", str(bad)]) == 1
+
+        eng = SLOEngine(availability_policy(), min_count=2)
+        for i in range(6):
+            eng.observe("served", now=float(i), latency_ms=1.0)
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(eng.report(6.0)))
+        assert main(["slo-report", str(good)]) == 0
+
+        junk = tmp_path / "junk.json"
+        junk.write_text("{}")
+        assert main(["slo-report", str(junk)]) == 2
+
+    def test_serve_bench_with_observability_flags(self, tmp_path,
+                                                  capsys):
+        trace_path = tmp_path / "serve.jsonl"
+        policy = tmp_path / "policy.json"
+        policy.write_text(json.dumps(drill_policy()))
+        rc = main([
+            "serve-bench", "--requests", "40", "--rank", "4",
+            "--trace-sample", "4", "--trace-jsonl", str(trace_path),
+            "--slo", str(policy), "--flight-dir", str(tmp_path / "fr"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "SLO report" in out and "traces    :" in out
+        traces = read_trace(trace_path)
+        assert traces
+        for spans in traces.values():
+            for rec in spans:
+                assert rec["schema"] == TRACE_SCHEMA

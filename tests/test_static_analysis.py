@@ -129,10 +129,26 @@ class TestRuleFixtures:
         report = lint_fixture("viol_det003.py")
         assert fired(report, "DET003") == []
 
+    def test_obs001(self):
+        # The fixture lives under repro/serving/, inside the default
+        # trace-scope: raw trace(), raw emit_event(), direct Tracer.span.
+        report = lint_fixture("repro/serving/viol_obs001.py")
+        assert fired(report, "OBS001") == [
+            (8, "OBS001"), (9, "OBS001"), (11, "OBS001"),
+        ]
+
+    def test_obs001_scoped_to_trace_modules(self):
+        # Outside trace-scope the aggregate-only entry points are fine
+        # (kernels, training loops, the telemetry module itself).
+        report = lint_fixture("repro/serving/viol_obs001.py",
+                              trace_scope=["nowhere"])
+        assert fired(report, "OBS001") == []
+
     def test_all_documented_rules_registered(self):
         assert set(all_rules()) == {
             "RNG001", "DT001", "DT002", "DT003",
             "DET001", "DET002", "DET003", "EXC001", "EXC002", "MUT001",
+            "OBS001",
         }
 
 
