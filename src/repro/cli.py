@@ -216,12 +216,139 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_train_elastic(args) -> int:
+    """``train --elastic``: the fault-tolerant distributed-training drill.
+
+    Runs K simulated data-parallel workers under scheduled kills
+    (``--kill-worker``) and/or ``dist.*`` fault rates, then gates on the
+    elastic contract: ledgers reconcile (no lost batches), the fleet ends
+    readmitted, live replicas are bit-identical, and (optionally) the
+    worst recovery stays under ``--recovery-ms-max`` simulated ms — the
+    contract the ``training-chaos`` CI job relies on.
+    """
+    import os
+
+    from repro.data import KAGGLE, SyntheticCTRDataset
+    from repro.distributed import ElasticTrainer, parse_worker_kill_spec
+    from repro.models import DLRMConfig, TTConfig, build_ttrec
+    from repro.reliability import FaultInjector
+    from repro.serving import ManualClock
+
+    spec = KAGGLE.scaled(args.scale)
+    cfg = DLRMConfig(table_sizes=spec.table_sizes, emb_dim=8,
+                     bottom_mlp=(16,), top_mlp=(16,))
+    replicas = [
+        build_ttrec(cfg, num_tt_tables=7, tt=TTConfig(rank=args.rank),
+                    min_rows=60, rng=args.seed)
+        for _ in range(args.workers)
+    ]
+    rates = {"dist.crash": args.dist_crash, "dist.hang": args.dist_hang,
+             "dist.slow": args.dist_slow, "dist.net_drop": args.dist_net_drop}
+    injector = None
+    if any(r > 0 for r in rates.values()):
+        injector = FaultInjector(seed=args.fault_seed)
+        for site, rate in rates.items():
+            if rate > 0:
+                injector.register(site, rate)
+    kill_specs = [parse_worker_kill_spec(s) for s in (args.kill_worker or [])]
+
+    clock = ManualClock()
+    recorder = None
+    if args.flight_dir:
+        from repro.telemetry import FlightRecorder, install_flight_recorder
+
+        recorder = install_flight_recorder(
+            FlightRecorder(args.flight_dir, clock=clock.now))
+    manager = None
+    if args.checkpoint_dir:
+        from repro.reliability import CheckpointManager
+
+        manager = CheckpointManager(
+            os.path.join(args.checkpoint_dir, "elastic"))
+    try:
+        trainer = ElasticTrainer(
+            replicas, lr=0.1, optimizer="adagrad", injector=injector,
+            clock=clock, checkpoint=manager,
+            checkpoint_every=args.checkpoint_every, kill_specs=kill_specs,
+        )
+        ds = SyntheticCTRDataset(spec, seed=args.seed, noise=0.7)
+        report = trainer.train(ds.batches(args.batch_size, args.iters))
+    finally:
+        if recorder is not None:
+            from repro.telemetry import uninstall_flight_recorder
+
+            uninstall_flight_recorder()
+
+    kills = ", ".join(f"w{k.worker}@{k.at_step}" for k in kill_specs) or "none"
+    print(f"train --elastic: {args.iters} batches of {args.batch_size} over "
+          f"{args.workers} workers, kills: {kills}")
+    print(f"ledger    : fed {report['batches_fed']}  applied "
+          f"{report['steps_applied']}  attempts {report['step_attempts']} "
+          f"(retried {report['retried_steps']}, degraded "
+          f"{report['degraded_steps']}, dispatch retries "
+          f"{report['dispatch_retries']})")
+    for s in report["workers"]:
+        print(f"  worker {s['worker']}: {s['state']:9s} "
+              f"dispatches {s['dispatches']:<5d} hb {s['heartbeats']:<4d} "
+              f"crash {s['crashes']} hang {s['hangs']} slow {s['slows']} "
+              f"drop {s['net_drops']}")
+    rec = report["recovery"]
+    print(f"recovery  : {rec['readmissions']} readmissions  shard restores "
+          f"{rec['restores']}  replayed rows {rec['replayed_rows']}  audits "
+          f"{rec['audits']} ({rec['audit_failures']} failed)  max "
+          f"{rec['max_ms']:g} ms")
+    print(f"health    : {report['health']['up']}/{report['world_size']} "
+          f"workers up  membership epochs {report['membership_epochs']}  "
+          f"resyncs {report['resyncs']}")
+
+    recon = report["reconciliation"]
+    ok = report["in_sync"]
+    print("reconcile :")
+    for name, check in recon["checks"].items():
+        print(f"  {name:28s} fired={check['fired']:<6d} "
+              f"counted={check['counted']:<6d} "
+              f"{'ok' if check['passed'] else 'MISMATCH'}")
+    ok = ok and recon["passed"]
+    if args.recovery_ms_max is not None and rec["readmissions"]:
+        within = rec["max_ms"] <= args.recovery_ms_max
+        ok = ok and within
+        print(f"threshold : recovery max {rec['max_ms']:g} ms "
+              f"{'<=' if within else '>'} {args.recovery_ms_max:g} ms "
+              f"{'ok' if within else 'FAIL'}")
+    if recorder is not None:
+        summ = recorder.summary()
+        if summ["dumps"]:
+            print(f"flightrec : {len(summ['dumps'])} dump(s) in "
+                  f"{args.flight_dir}: " + ", ".join(sorted(summ["dumps"])))
+        else:
+            print(f"flightrec : armed ({summ['events_seen']} events), "
+                  f"no trigger fired")
+    print(f"final loss: {report['final_loss']:.4f}  "
+          f"(sim {report['sim_ms']:g} ms)")
+    print(f"{'PASS' if ok else 'FAIL'}: "
+          + ("ledgers reconcile, fleet readmitted, replicas in sync"
+             if ok else "see mismatches above"))
+    if args.emit_json:
+        from repro.telemetry import write_snapshot
+
+        write_snapshot(args.emit_json, command="train-elastic",
+                       result={"report": report, "passed": ok})
+        print(f"wrote telemetry snapshot to {args.emit_json}")
+    return 0 if ok else 1
+
+
 def _cmd_train(args) -> int:
     import os
 
     from repro.data import KAGGLE, SyntheticCTRDataset
     from repro.models import DLRMConfig, TTConfig, build_dlrm, build_ttrec
     from repro.training import Trainer
+
+    if args.elastic:
+        return _cmd_train_elastic(args)
+    if args.kill_worker:
+        print("error: --kill-worker requires --elastic")
+        return 2
 
     spec = KAGGLE.scaled(args.scale)
     cfg = DLRMConfig(table_sizes=spec.table_sizes, emb_dim=8,
@@ -922,6 +1049,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resume each model from its latest checkpoint")
     p.add_argument("--emit-json", default=None, metavar="PATH",
                    help="write a repro.telemetry/v1 snapshot JSON")
+    p.add_argument("--elastic", action="store_true",
+                   help="run the elastic fault-tolerant distributed drill "
+                        "instead of the single-worker comparison")
+    p.add_argument("--workers", type=int, default=4,
+                   help="data-parallel workers for --elastic")
+    p.add_argument("--batch-size", type=int, default=96,
+                   help="global batch size for --elastic")
+    p.add_argument("--kill-worker", action="append", default=None,
+                   metavar="W@STEP",
+                   help="kill worker W when batch STEP is fed (repeatable; "
+                        "requires --elastic)")
+    p.add_argument("--dist-crash", type=float, default=0.0,
+                   help="per-probe dist.crash rate (--elastic)")
+    p.add_argument("--dist-hang", type=float, default=0.0,
+                   help="per-probe dist.hang rate (--elastic)")
+    p.add_argument("--dist-slow", type=float, default=0.0,
+                   help="per-dispatch dist.slow rate (--elastic)")
+    p.add_argument("--dist-net-drop", type=float, default=0.0,
+                   help="per-message dist.net_drop rate (--elastic)")
+    p.add_argument("--fault-seed", type=int, default=123)
+    p.add_argument("--recovery-ms-max", type=float, default=None,
+                   help="fail if the worst recovery exceeds this many "
+                        "simulated ms (--elastic)")
+    p.add_argument("--flight-dir", default=None, metavar="DIR",
+                   help="arm the flight recorder; trigger dumps land "
+                        "here as flightrec-<event>.json (--elastic)")
     p.set_defaults(fn=_cmd_train)
 
     p = sub.add_parser("profile",

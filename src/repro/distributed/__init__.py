@@ -16,11 +16,25 @@ Everything is exact (no network, no nondeterminism): data-parallel
 training is verified bit-equivalent to single-worker large-batch training,
 and the byte counters are verified against the analytic model of
 :mod:`repro.analysis.parallelism`.
+
+:mod:`repro.distributed.elastic` adds the fault-tolerant runtime on top:
+``ElasticTrainer`` supervises ``TrainerWorker`` state machines through
+heartbeat detection, breaker-gated eviction, degraded collectives over
+survivors, and live shard-delta recovery of lost replicas.
 """
 
 from repro.distributed.collectives import CollectiveError, Communicator
-from repro.distributed.data_parallel import DataParallelTrainer
-from repro.distributed.model_parallel import ShardedEmbeddingDLRM
+from repro.distributed.data_parallel import (DataParallelTrainer, shard_batch,
+                                             shard_batch_counts)
+from repro.distributed.elastic import (ElasticConfig, ElasticError,
+                                       ElasticTrainer, TrainerWorker,
+                                       WorkerKillSpec, parse_worker_kill_spec,
+                                       reconcile_elastic)
+from repro.distributed.model_parallel import (ShardedEmbeddingDLRM,
+                                              partition_parameters)
 
 __all__ = ["Communicator", "CollectiveError", "DataParallelTrainer",
-           "ShardedEmbeddingDLRM"]
+           "ShardedEmbeddingDLRM", "ElasticTrainer", "TrainerWorker",
+           "ElasticConfig", "ElasticError", "WorkerKillSpec",
+           "parse_worker_kill_spec", "reconcile_elastic", "shard_batch",
+           "shard_batch_counts", "partition_parameters"]

@@ -10,6 +10,15 @@ full batch (BCE is a mean), K-worker training is *bit-equivalent* to
 single-worker training on the unsharded batch — which the test suite
 asserts exactly. That equivalence is what makes the simulated cluster a
 faithful stand-in for a real synchronous cluster.
+
+Degraded collectives model the real failure faithfully: a worker the
+allreduce drops does **not** receive the reduced gradient — it keeps its
+local one, takes a divergent update, and is therefore out of sync until
+the post-step resync barrier copies a clean replica's parameters over it
+(``resync_replicas``). The barrier is what keeps ``parameters_in_sync``
+true across chaos runs; before it existed the simulator silently handed
+dropped workers the reduced gradient, hiding the drift a real cluster
+would suffer.
 """
 
 from __future__ import annotations
@@ -22,26 +31,30 @@ from repro.models.dlrm import DLRM
 from repro.models.serialization import load_state_dict, state_dict
 from repro.ops.loss import bce_with_logits
 from repro.ops.optim import SparseSGD
+from repro.telemetry import get_registry
 
-__all__ = ["DataParallelTrainer", "shard_batch"]
+__all__ = ["DataParallelTrainer", "shard_batch", "shard_batch_counts"]
 
 
-def shard_batch(batch: Batch, world_size: int) -> list[Batch]:
-    """Split a batch into ``world_size`` equal contiguous shards.
+def shard_batch_counts(batch: Batch, counts: list[int]) -> list[Batch]:
+    """Split a batch into contiguous shards of explicit sizes.
 
-    The batch size must divide evenly — real synchronous SGD pads or drops
-    remainders; we require exactness so the equivalence theorem holds
-    bit-for-bit.
+    ``counts`` must be positive and sum to the batch size. The equal-shard
+    :func:`shard_batch` is the ``counts = [B/K] * K`` special case; the
+    elastic runtime passes uneven counts when re-sharding a batch over
+    survivors or de-weighting a straggler.
     """
     b = batch.size
-    if b % world_size != 0:
+    if any(c < 1 for c in counts):
+        raise ValueError(f"every shard needs at least one sample, got {counts}")
+    if sum(counts) != b:
         raise ValueError(
-            f"batch size {b} is not divisible by world size {world_size}"
+            f"shard counts {counts} sum to {sum(counts)}, batch size is {b}"
         )
-    per = b // world_size
+    bounds = np.concatenate(([0], np.cumsum(counts)))
     shards = []
-    for w in range(world_size):
-        lo, hi = w * per, (w + 1) * per
+    for w in range(len(counts)):
+        lo, hi = int(bounds[w]), int(bounds[w + 1])
         sparse = []
         weights = [] if batch.per_sample_weights is not None else None
         for t, (indices, offsets) in enumerate(batch.sparse):
@@ -56,6 +69,21 @@ def shard_batch(batch: Batch, world_size: int) -> list[Batch]:
             per_sample_weights=weights,
         ))
     return shards
+
+
+def shard_batch(batch: Batch, world_size: int) -> list[Batch]:
+    """Split a batch into ``world_size`` equal contiguous shards.
+
+    The batch size must divide evenly — real synchronous SGD pads or drops
+    remainders; we require exactness so the equivalence theorem holds
+    bit-for-bit.
+    """
+    b = batch.size
+    if b % world_size != 0:
+        raise ValueError(
+            f"batch size {b} is not divisible by world size {world_size}"
+        )
+    return shard_batch_counts(batch, [b // world_size] * world_size)
 
 
 class DataParallelTrainer:
@@ -99,10 +127,16 @@ class DataParallelTrainer:
         for replica in self.replicas[1:]:
             load_state_dict(replica, reference)
         self.optimizers = [SparseSGD(r.parameters(), lr=lr) for r in self.replicas]
+        self._c_resyncs = get_registry().counter("dist.resyncs")
 
     @property
     def world_size(self) -> int:
         return len(self.replicas)
+
+    @property
+    def resyncs(self) -> int:
+        """Replicas re-synchronized after degraded collectives (run total)."""
+        return self._c_resyncs.value
 
     def train_step(self, batch: Batch) -> float:
         """One synchronous step over a global batch; returns the mean loss."""
@@ -115,25 +149,68 @@ class DataParallelTrainer:
             loss, grad = bce_with_logits(logits, shard.labels)
             replica.backward(grad)
             losses.append(loss)
-        self._sync_gradients()
+        dropped = self._sync_gradients()
         for opt in self.optimizers:
             opt.step()
+        if dropped:
+            # Post-step resync barrier: the dropped ranks just applied a
+            # local (un-reduced) gradient and have drifted; copy a clean
+            # survivor's parameters over them before the next step.
+            self.resync_replicas(dropped)
         return float(np.mean(losses))
 
-    def _sync_gradients(self) -> None:
-        """Allreduce-average gradients; union sparse touched-row sets."""
+    def _sync_gradients(self) -> list[int]:
+        """Allreduce-average gradients; union sparse touched-row sets.
+
+        Survivors receive the reduced gradient and the survivors' touched
+        union; a rank the collective dropped keeps its local gradient and
+        local touched rows — exactly what a real dropped worker would
+        apply. Returns the ranks dropped from any group's allreduce.
+        """
         param_groups = list(zip(*(r.parameters() for r in self.replicas)))
+        dropped_any: set[int] = set()
         for group in param_groups:
             mean_grad = self.comm.allreduce_mean([p.grad for p in group])
-            touched_sets = [p.touched_rows for p in group if p.touched_rows is not None]
+            dropped = set(self.comm.last_dropped)
+            dropped_any |= dropped
+            touched_sets = [p.touched_rows for rank, p in enumerate(group)
+                            if rank not in dropped and p.touched_rows is not None]
             union = None
             if touched_sets:
                 union = touched_sets[0]
                 for t in touched_sets[1:]:
                     union = np.union1d(union, t)
-            for p in group:
+            for rank, p in enumerate(group):
+                if rank in dropped:
+                    continue
                 p.grad[...] = mean_grad
                 p.touched_rows = union.copy() if union is not None else None
+        return sorted(dropped_any)
+
+    def resync_replicas(self, ranks: list[int], *,
+                        source: int | None = None) -> int:
+        """Bitwise-copy a clean replica's parameters over drifted ranks.
+
+        ``source`` defaults to the lowest rank not in ``ranks`` (every
+        collective keeps at least one survivor, so one exists whenever
+        ``ranks`` came from a single step; if the caller accumulated
+        drops across steps until no rank is clean, rank 0 is used — the
+        fleet ends consistent, anchored to rank 0's state). Returns the
+        number of replicas rewritten.
+        """
+        if source is None:
+            clean = [r for r in range(self.world_size) if r not in set(ranks)]
+            source = clean[0] if clean else 0
+        reference = state_dict(self.replicas[source])
+        synced = 0
+        for rank in ranks:
+            if rank == source:
+                continue
+            load_state_dict(self.replicas[rank], reference)
+            synced += 1
+        if synced:
+            self._c_resyncs.inc(synced)
+        return synced
 
     @property
     def fault_events(self) -> dict[str, int]:

@@ -5,6 +5,7 @@ from repro.models.dlrm import DLRM
 from repro.models.serialization import (
     load_model,
     load_state_dict,
+    parameter_keys,
     save_model,
     state_dict,
 )
@@ -21,4 +22,5 @@ __all__ = [
     "load_model",
     "state_dict",
     "load_state_dict",
+    "parameter_keys",
 ]

@@ -14,7 +14,7 @@ import numpy as np
 from repro.ops.module import Module
 
 __all__ = ["save_model", "load_model", "state_dict", "load_state_dict",
-           "named_modules"]
+           "named_modules", "parameter_keys"]
 
 
 def _npz_path(path: str | os.PathLike, *, for_load: bool = False) -> str:
@@ -43,6 +43,18 @@ def _keys(model: Module) -> list[str]:
     name suffix keeps checkpoints human-readable.
     """
     return [f"{i:04d}:{p.name}" for i, p in enumerate(model.parameters())]
+
+
+def parameter_keys(model: Module) -> list[str]:
+    """Checkpoint key of every parameter, in ``Module.parameters()`` order.
+
+    The public face of the key scheme for code that addresses *subsets*
+    of a model's parameters (the shard-delta checkpoints of
+    :class:`repro.reliability.checkpoint.CheckpointManager` save/restore
+    by parameter index, and need the index -> key mapping to stay in one
+    place).
+    """
+    return _keys(model)
 
 
 def state_dict(model: Module) -> dict[str, np.ndarray]:

@@ -28,6 +28,25 @@ records the full loss history (so a resumed
 :class:`~repro.training.trainer.TrainResult` is seamless) and, when a
 :class:`numpy.random.Generator` is supplied, its bit-generator state —
 everything needed for a killed run to resume bit-exactly.
+
+Shard-delta checkpoints (elastic training)
+------------------------------------------
+The elastic runtime checkpoints each worker's *owned slice* of the
+replicated model instead of the whole thing: worker ``w`` saves only the
+parameters assigned to it (by
+:func:`repro.distributed.model_parallel.partition_parameters`), plus the
+optimizer slots of exactly those parameters, as a separate pair::
+
+    ckpt-s2_00000100.npz / ckpt-s2_00000100.json
+
+Shard files use the ``{prefix}-s{shard}`` sub-prefix, so they never
+collide with (or shadow) the dense ``{prefix}_{step}`` series — the
+``steps()`` regex cannot match them. Together the K shard pairs at one
+step cover the whole model, which is what lets a supervisor rebuild a
+*lost* worker's replica from the last common shard step
+(:meth:`CheckpointManager.latest_common_shard_step`) without touching
+any survivor's state: :meth:`restore_shard` writes only the shard's
+parameters and merges only the shard's optimizer slots.
 """
 
 from __future__ import annotations
@@ -40,7 +59,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.models.serialization import load_state_dict, named_modules, state_dict
+from repro.models.serialization import (load_state_dict, named_modules,
+                                        parameter_keys, state_dict)
 from repro.ops.module import Module
 
 __all__ = ["CheckpointManager", "CheckpointError", "LoadedCheckpoint"]
@@ -280,4 +300,195 @@ class CheckpointManager:
                 hook(extra)
         if rng is not None and ck.manifest.get("rng") is not None:
             rng.bit_generator.state = ck.manifest["rng"]
+        return ck
+
+    # ------------------------------------------------------------------ #
+    # Shard-delta checkpoints (elastic training)
+    # ------------------------------------------------------------------ #
+
+    def _shard_prefix(self, shard_id: int) -> str:
+        return f"{self.prefix}-s{shard_id}"
+
+    def shard_payload_path(self, shard_id: int, step: int) -> str:
+        return os.path.join(
+            self.directory, f"{self._shard_prefix(shard_id)}_{step:08d}.npz")
+
+    def shard_manifest_path(self, shard_id: int, step: int) -> str:
+        return os.path.join(
+            self.directory, f"{self._shard_prefix(shard_id)}_{step:08d}.json")
+
+    def shard_steps(self, shard_id: int) -> list[int]:
+        """Steps with both shard files present (ascending; unverified)."""
+        pattern = re.compile(
+            rf"^{re.escape(self._shard_prefix(shard_id))}_(\d+)\.json$")
+        found = []
+        for entry in os.listdir(self.directory):
+            m = pattern.match(entry)
+            if m:
+                step = int(m.group(1))
+                if os.path.exists(self.shard_payload_path(shard_id, step)):
+                    found.append(step)
+        return sorted(found)
+
+    def verify_shard(self, shard_id: int, step: int) -> bool:
+        """True when the shard pair parses and its payload checksums."""
+        try:
+            with open(self.shard_manifest_path(shard_id, step)) as fh:
+                manifest = json.load(fh)
+        except (OSError, ValueError):
+            return False
+        expected = manifest.get("sha256")
+        if not expected:
+            return False
+        try:
+            return _sha256_file(
+                self.shard_payload_path(shard_id, step)) == expected
+        except OSError:
+            return False
+
+    def latest_common_shard_step(self, num_shards: int) -> int | None:
+        """Newest step at which *every* shard's pair verifies.
+
+        The restore point for a lost worker: the K shard deltas at this
+        step cover the whole model. A shard whose save was torn (crash
+        mid-checkpoint) pushes the common step back to the previous
+        round, exactly like :meth:`latest_step` for dense checkpoints.
+        """
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        common = set(self.shard_steps(0))
+        for s in range(1, num_shards):
+            common &= set(self.shard_steps(s))
+        for step in sorted(common, reverse=True):
+            if all(self.verify_shard(s, step) for s in range(num_shards)):
+                return step
+        return None
+
+    def save_shard(self, step: int, shard_id: int, model: Module,
+                   param_indices, *, optimizer=None) -> str:
+        """Atomically checkpoint one worker's owned parameter slice.
+
+        ``param_indices`` indexes into ``model.parameters()`` order (the
+        same order :func:`repro.models.serialization.parameter_keys`
+        walks). The payload holds those parameters plus the optimizer
+        slot arrays keyed ``<slot>.<index>`` for exactly those indices;
+        optimizer scalars (lr, eps, ...) ride in the manifest so any
+        single shard can restore them.
+        """
+        if step < 0:
+            raise ValueError(f"step must be >= 0, got {step}")
+        if shard_id < 0:
+            raise ValueError(f"shard_id must be >= 0, got {shard_id}")
+        keys = parameter_keys(model)
+        params = model.parameters()
+        indices = sorted(int(i) for i in param_indices)
+        for i in indices:
+            if not (0 <= i < len(params)):
+                raise ValueError(
+                    f"param index {i} out of range (model has {len(params)})"
+                )
+        owned = set(indices)
+        arrays: dict[str, np.ndarray] = {
+            f"model/{keys[i]}": params[i].data.copy() for i in indices
+        }
+        opt_scalars: dict[str, float] = {}
+        if optimizer is not None:
+            for key, value in optimizer.state_dict().items():
+                if isinstance(value, np.ndarray):
+                    slot, _, idx = key.rpartition(".")
+                    if slot and idx.isdigit() and int(idx) in owned:
+                        arrays[f"opt/{key}"] = value
+                else:
+                    opt_scalars[key] = value
+        payload = self.shard_payload_path(shard_id, step)
+        _atomic_write(payload, lambda fh: np.savez_compressed(fh, **arrays))
+        manifest = {
+            "format": FORMAT_VERSION,
+            "step": int(step),
+            "shard": int(shard_id),
+            "param_indices": indices,
+            "payload": os.path.basename(payload),
+            "sha256": _sha256_file(payload),
+            "optimizer": {
+                "type": type(optimizer).__name__ if optimizer is not None else None,
+                "scalars": opt_scalars,
+            },
+        }
+        body = json.dumps(manifest, indent=1).encode()
+        _atomic_write(self.shard_manifest_path(shard_id, step),
+                      lambda fh: fh.write(body))
+        self._prune_shard(shard_id)
+        return payload
+
+    def _prune_shard(self, shard_id: int) -> None:
+        for step in self.shard_steps(shard_id)[: -self.keep] if self.keep else []:
+            for path in (self.shard_payload_path(shard_id, step),
+                         self.shard_manifest_path(shard_id, step)):
+                try:
+                    os.remove(path)
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+
+    def load_shard(self, shard_id: int, step: int) -> LoadedCheckpoint:
+        """Read and verify one shard-delta pair."""
+        if not self.verify_shard(shard_id, step):
+            raise CheckpointError(
+                f"shard {shard_id} checkpoint step {step} in "
+                f"{self.directory!r} is missing or fails checksum "
+                "verification"
+            )
+        with open(self.shard_manifest_path(shard_id, step)) as fh:
+            manifest = json.load(fh)
+        with np.load(self.shard_payload_path(shard_id, step)) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        return LoadedCheckpoint(step=int(manifest["step"]),
+                                path=self.shard_payload_path(shard_id, step),
+                                manifest=manifest, arrays=arrays)
+
+    def restore_shard(self, model: Module, shard_id: int, step: int, *,
+                      optimizer=None) -> LoadedCheckpoint:
+        """Restore one shard's parameters (and optimizer slots) in place.
+
+        Only the checkpointed slice is written: every other parameter of
+        ``model`` and every other optimizer slot keeps its current bits,
+        so restoring shard after shard into a rebuilt worker composes —
+        and restoring one shard into a *live* replica cannot disturb the
+        parameters owned by surviving workers.
+        """
+        ck = self.load_shard(shard_id, step)
+        keys = parameter_keys(model)
+        params = dict(zip(keys, model.parameters()))
+        for key, value in ck.arrays.items():
+            if not key.startswith("model/"):
+                continue
+            name = key.split("/", 1)[1]
+            p = params.get(name)
+            if p is None:
+                raise CheckpointError(
+                    f"shard {shard_id} checkpoint holds unknown parameter "
+                    f"{name!r}"
+                )
+            if p.data.shape != value.shape:
+                raise CheckpointError(
+                    f"shape mismatch for {name!r}: model {p.data.shape}, "
+                    f"checkpoint {value.shape}"
+                )
+            p.data[...] = value
+        if optimizer is not None:
+            saved_type = ck.manifest["optimizer"]["type"]
+            if saved_type is not None and saved_type != type(optimizer).__name__:
+                raise CheckpointError(
+                    f"shard checkpoint holds {saved_type} state but the "
+                    f"worker uses {type(optimizer).__name__}"
+                )
+            # Merge into the optimizer's *current* state: scalars + this
+            # shard's slots change, every other slot round-trips through
+            # state_dict()/load_state_dict() bit-identically.
+            merged: dict = optimizer.state_dict()
+            merged.update(ck.manifest["optimizer"]["scalars"])
+            for key, value in ck.arrays.items():
+                if key.startswith("opt/"):
+                    merged[key.split("/", 1)[1]] = value
+            if saved_type is not None:
+                optimizer.load_state_dict(merged)
         return ck

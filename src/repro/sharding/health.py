@@ -36,11 +36,17 @@ class HealthPlane:
         Simulated milliseconds between probe rounds.
     miss_threshold:
         Consecutive missed probes before a shard is marked down.
+    prefix:
+        Namespace of the plane's metrics and events. The default
+        (``"shard"``) keeps the serving tier's names; the elastic
+        training supervisor passes ``"dist.worker"`` so the same plane
+        reports ``dist.worker.heartbeat_*`` / ``dist.worker.marked_down``
+        without colliding with the serving fleet.
     """
 
     def __init__(self, num_shards: int, *,
                  heartbeat_interval_ms: float = 50.0,
-                 miss_threshold: int = 3):
+                 miss_threshold: int = 3, prefix: str = "shard"):
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         if miss_threshold < 1:
@@ -52,18 +58,24 @@ class HealthPlane:
         self.num_shards = num_shards
         self.heartbeat_interval_ms = heartbeat_interval_ms
         self.miss_threshold = miss_threshold
+        self.prefix = prefix
+        # Label key for per-unit metrics/events: "shard" for the serving
+        # fleet, the prefix's last component otherwise ("dist.worker" ->
+        # "worker").
+        self._label = "shard" if prefix == "shard" else prefix.rsplit(".", 1)[-1]
         self.verdict = ["up"] * num_shards        # up | down | rewarming
         self.misses = [0] * num_shards            # consecutive misses
         self.last_seen = [0.0] * num_shards       # last heartbeat reply (ms)
         self.marked_down_at = [None] * num_shards
         self._next_probe_ms = 0.0
         reg = get_registry()
-        self._probe_rounds = reg.counter("shard.heartbeat_rounds")
+        self._probe_rounds = reg.counter(f"{prefix}.heartbeat_rounds")
         self._miss_counters = [
-            reg.counter("shard.heartbeat_misses", shard=str(s))
+            reg.counter(f"{prefix}.heartbeat_misses",
+                        **{self._label: str(s)})
             for s in range(num_shards)
         ]
-        self._up_gauge = reg.gauge("shard.up")
+        self._up_gauge = reg.gauge(f"{prefix}.up")
         self._up_gauge.set(num_shards)
 
     # ------------------------------------------------------------------ #
@@ -115,8 +127,9 @@ class HealthPlane:
         self.verdict[shard] = "down"
         self.marked_down_at[shard] = now
         self._up_gauge.set(sum(v == "up" for v in self.verdict))
-        traced_event("shard.marked_down", shard=shard, reason=reason,
-                     at_ms=now, misses=self.misses[shard])
+        traced_event(f"{self.prefix}.marked_down", reason=reason,
+                     at_ms=now, misses=self.misses[shard],
+                     **{self._label: shard})
 
     def mark_down(self, shard: int, now: float, *,
                   reason: str = "dispatch") -> bool:
@@ -139,7 +152,8 @@ class HealthPlane:
         self.last_seen[shard] = now
         self.marked_down_at[shard] = None
         self._up_gauge.set(sum(v == "up" for v in self.verdict))
-        traced_event("shard.readmitted", shard=shard, at_ms=now)
+        traced_event(f"{self.prefix}.readmitted", at_ms=now,
+                     **{self._label: shard})
 
     def is_up(self, shard: int) -> bool:
         return self.verdict[shard] == "up"

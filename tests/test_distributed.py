@@ -289,3 +289,123 @@ class TestModelParallelEquivalence:
         sharded = ShardedEmbeddingDLRM.from_dlrm(build_dlrm(CFG, rng=0), 2)
         with pytest.raises(RuntimeError):
             sharded.backward(np.ones(8))
+
+
+# --------------------------------------------------------------------- #
+# Explicit shard counts (elastic re-sharding)
+# --------------------------------------------------------------------- #
+
+class TestShardBatchCounts:
+    def test_uneven_split_preserves_content(self):
+        from repro.distributed import shard_batch_counts
+
+        batch = make_batch(16)
+        shards = shard_batch_counts(batch, [7, 5, 4])
+        assert [s.size for s in shards] == [7, 5, 4]
+        np.testing.assert_array_equal(
+            np.concatenate([s.labels for s in shards]), batch.labels)
+        for t in range(len(batch.sparse)):
+            rebuilt = np.concatenate([s.sparse[t][0] for s in shards])
+            np.testing.assert_array_equal(rebuilt, batch.sparse[t][0])
+        for shard in shards:
+            for idx, off in shard.sparse:
+                assert off[0] == 0 and off[-1] == idx.size
+
+    def test_equal_counts_match_shard_batch(self):
+        from repro.distributed import shard_batch_counts
+
+        batch = make_batch(16)
+        even = shard_batch(batch, 4)
+        explicit = shard_batch_counts(batch, [4, 4, 4, 4])
+        for a, b in zip(even, explicit):
+            np.testing.assert_array_equal(a.dense, b.dense)
+            np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_validation(self):
+        from repro.distributed import shard_batch_counts
+
+        batch = make_batch(8)
+        with pytest.raises(ValueError):
+            shard_batch_counts(batch, [4, 3])      # doesn't sum to 8
+        with pytest.raises(ValueError):
+            shard_batch_counts(batch, [8, 0])      # empty shard
+
+
+# --------------------------------------------------------------------- #
+# Degraded-collective properties (survivor rescaling)
+# --------------------------------------------------------------------- #
+
+class TestDegradedAllreduceProperties:
+    """Property tests of the K/survivors degraded-mode semantics."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_allreduce_sum_rescaling_is_unbiased(self, seed):
+        """E[(K/S) * survivor sum] = full sum, for *distinct* per-worker
+        contributions: under i.i.d. drops the survivor set is uniform
+        given its size, so the rescaled estimate is conditionally
+        unbiased — the property the degraded gradient step relies on."""
+        from repro.reliability import FaultInjector
+
+        k = 4
+        values = np.arange(1.0, k + 1)           # worker r contributes r+1
+        true_sum = float(values.sum())
+        injector = FaultInjector(seed=seed).register("collective.drop", 0.12)
+        comm = Communicator(k, injector=injector)
+        trials = 1500
+        total = 0.0
+        for _ in range(trials):
+            out = comm.allreduce_sum([np.full(1, v) for v in values])
+            total += float(out[0])
+        assert comm.events["workers_dropped"] > 0
+        assert abs(total / trials - true_sum) / true_sum < 0.03
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_allreduce_mean_matches_survivor_reference(self, seed):
+        """Renormalised mean == bit-exact float64 survivors-only mean,
+        recomputed independently from ``last_dropped``."""
+        from repro.reliability import FaultInjector
+
+        injector = FaultInjector(seed=seed).register("collective.drop", 0.2)
+        comm = Communicator(4, injector=injector)
+        rng = np.random.default_rng(seed)
+        saw_degraded = False
+        for _ in range(40):
+            bufs = [rng.standard_normal(16).astype(np.float32)
+                    for _ in range(4)]
+            out = comm.allreduce_mean(bufs)
+            dropped = set(comm.last_dropped)
+            saw_degraded |= bool(dropped)
+            survivors = [b for r, b in enumerate(bufs) if r not in dropped]
+            ref = survivors[0].astype(np.float64, copy=True)
+            for b in survivors[1:]:
+                ref += b
+            ref /= len(survivors)
+            np.testing.assert_array_equal(out, ref.astype(np.float32))
+        assert saw_degraded
+
+
+# --------------------------------------------------------------------- #
+# Post-step resync barrier (degraded-mode drift fix)
+# --------------------------------------------------------------------- #
+
+class TestDegradedResyncBarrier:
+    def test_dropped_worker_resynced_after_step(self):
+        """A rank the collective drops takes a divergent local update and
+        must be rewritten by the barrier before the next step — the fleet
+        ends every step bit-identical (regression for the old behaviour
+        of silently handing dropped ranks the reduced gradient)."""
+        from repro.reliability import FaultInjector
+
+        injector = FaultInjector(seed=5).register("collective.drop", 0.02)
+        replicas = [
+            build_ttrec(CFG, num_tt_tables=3, tt=TTConfig(rank=4),
+                        min_rows=60, rng=0)
+            for _ in range(4)
+        ]
+        dp = DataParallelTrainer(replicas, lr=0.1, injector=injector)
+        start = dp.resyncs
+        for step in range(10):
+            dp.train_step(make_batch(16, seed=step))
+            assert dp.parameters_in_sync()
+        assert dp.fault_events["workers_dropped"] > 0
+        assert dp.resyncs > start

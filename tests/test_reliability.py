@@ -572,3 +572,116 @@ class TestCacheRowRepair:
             mod.scrub()
             assert np.isfinite(mod.cache_rows.data).all()
         assert all(np.isfinite(p.data).all() for p in model.parameters())
+
+
+# --------------------------------------------------------------------- #
+# Shard-delta checkpoints (elastic training)
+# --------------------------------------------------------------------- #
+
+class TestShardDeltaCheckpoints:
+    WORLD = 3
+
+    def _trained(self, steps=4):
+        from repro.ops.loss import bce_with_logits
+
+        model = tiny_model(cache=False)
+        opt = RowWiseAdagrad(model.parameters(), lr=0.05)
+        ds = tiny_stream()
+        for _ in range(steps):
+            opt.zero_grad()
+            batch = ds.batch(16)
+            logits = model.forward(batch.dense, batch.sparse)
+            _, grad = bce_with_logits(logits, batch.labels)
+            model.backward(grad)
+            opt.step()
+        return model, opt
+
+    def _ownership(self, model):
+        from repro.distributed import partition_parameters
+
+        owner = partition_parameters(model, self.WORLD)
+        return {w: [i for i, o in enumerate(owner) if o == w]
+                for w in range(self.WORLD)}
+
+    def test_lost_shard_roundtrip_bit_exact(self, tmp_path):
+        """Scramble one worker's owned slice (params + optimizer rows),
+        restore only that shard, and get every bit back — without the
+        restore touching any other shard's state."""
+        model, opt = self._trained()
+        owned = self._ownership(model)
+        mgr = CheckpointManager(tmp_path)
+        for w in range(self.WORLD):
+            mgr.save_shard(7, w, model, owned[w], optimizer=opt)
+        assert mgr.latest_common_shard_step(self.WORLD) == 7
+
+        params = model.parameters()
+        ref_params = [p.data.copy() for p in params]
+        ref_state = opt.state_dict()
+
+        lost = 1
+        state = opt.state_dict()
+        for i in owned[lost]:
+            params[i].data[...] = -123.0
+            key = f"accum.{i}"
+            state[key] = np.full_like(state[key], -1.0)
+        opt.load_state_dict(state)
+
+        mgr.restore_shard(model, lost, 7, optimizer=opt)
+
+        for p, ref in zip(model.parameters(), ref_params):
+            np.testing.assert_array_equal(p.data, ref)
+        restored = opt.state_dict()
+        assert set(restored) == set(ref_state)
+        for key, value in ref_state.items():
+            if isinstance(value, np.ndarray):
+                np.testing.assert_array_equal(restored[key], value)
+            else:
+                assert restored[key] == value
+
+    def test_restore_leaves_survivors_untouched(self, tmp_path):
+        """restore_shard writes only the named shard's slice: survivor
+        state mutated *after* the save must survive the restore."""
+        model, opt = self._trained()
+        owned = self._ownership(model)
+        mgr = CheckpointManager(tmp_path)
+        for w in range(self.WORLD):
+            mgr.save_shard(3, w, model, owned[w], optimizer=opt)
+        sentinel_param = owned[0][0]
+        model.parameters()[sentinel_param].data[...] = 777.0
+        mgr.restore_shard(model, 1, 3, optimizer=opt)
+        assert np.all(model.parameters()[sentinel_param].data == 777.0)
+
+    def test_latest_common_needs_every_shard(self, tmp_path):
+        model, opt = self._trained(steps=1)
+        owned = self._ownership(model)
+        mgr = CheckpointManager(tmp_path)
+        for step in (5, 10):
+            for w in range(self.WORLD):
+                mgr.save_shard(step, w, model, owned[w])
+        mgr.save_shard(15, 0, model, owned[0])   # torn round: shard 0 only
+        assert mgr.shard_steps(0) == [5, 10, 15]
+        assert mgr.shard_steps(1) == [5, 10]
+        assert mgr.latest_common_shard_step(self.WORLD) == 10
+
+    def test_verify_shard_detects_tamper(self, tmp_path):
+        model, opt = self._trained(steps=1)
+        owned = self._ownership(model)
+        mgr = CheckpointManager(tmp_path)
+        mgr.save_shard(2, 0, model, owned[0], optimizer=opt)
+        assert mgr.verify_shard(0, 2)
+        with open(mgr.shard_payload_path(0, 2), "ab") as fh:
+            fh.write(b"tamper")
+        assert not mgr.verify_shard(0, 2)
+        with pytest.raises(CheckpointError):
+            mgr.load_shard(0, 2)
+
+    def test_shard_series_does_not_collide_with_dense(self, tmp_path):
+        """`ckpt-s0_...` files must not appear in the dense `steps()`
+        series (and vice versa)."""
+        model, opt = self._trained(steps=1)
+        owned = self._ownership(model)
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(4, model)
+        mgr.save_shard(9, 0, model, owned[0])
+        assert mgr.steps() == [4]
+        assert mgr.shard_steps(0) == [9]
