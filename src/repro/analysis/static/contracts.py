@@ -1,0 +1,76 @@
+"""Framework for whole-program contract passes (the XMOD rules).
+
+Per-file rules (:mod:`repro.analysis.static.rules`) check one AST at a
+time; contract passes consume the :class:`~repro.analysis.static.graph.
+ProjectGraph` and reconcile the stringly-typed contracts that span
+modules: fault-site registries vs. fire sites, metric writers vs.
+readers, JSONL schema writers vs. validators, state-machine producers
+vs. dispatchers, and dtype provenance across the call graph.
+
+A pass is a :class:`ContractPass` subclass registered with
+:func:`register_pass`; it shares the per-file rules' configuration dict
+and the runner applies ``# repro: noqa[...]`` suppression to its
+findings exactly like per-file findings (the suppressing comment lives
+on the line the finding anchors to).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.static.core import Finding
+from repro.analysis.static.graph import ProjectGraph
+
+__all__ = [
+    "ContractPass",
+    "register_pass",
+    "all_passes",
+]
+
+
+@dataclass
+class ContractPass:
+    """Base class for cross-module passes.
+
+    Subclasses set :attr:`id`/:attr:`summary` and implement
+    :meth:`check_project`, returning findings anchored to the file and
+    line where the drifted contract element lives. Suppression and
+    lint-path scoping are applied centrally by the runner.
+    """
+
+    id = "XMOD000"
+    summary = ""
+
+    config: dict = field(default_factory=dict)
+
+    def check_project(self, graph: ProjectGraph) -> list[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(self, path: str, node, message: str,
+                severity: str = "error") -> Finding:
+        return Finding(
+            rule=self.id,
+            path=path,
+            line=getattr(node, "lineno", 0) or 0,
+            col=getattr(node, "col_offset", 0) or 0,
+            message=message,
+            severity=severity,
+        )
+
+
+_PASS_REGISTRY: dict[str, type[ContractPass]] = {}
+
+
+def register_pass(cls: type[ContractPass]) -> type[ContractPass]:
+    """Class decorator adding a contract pass to the global registry."""
+    if cls.id in _PASS_REGISTRY:
+        raise ValueError(f"duplicate pass id {cls.id}")
+    _PASS_REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_passes() -> dict[str, type[ContractPass]]:
+    """Registered passes by id (import side effect of the passes pkg)."""
+    from repro.analysis.static import passes as _passes  # noqa: F401
+
+    return dict(_PASS_REGISTRY)

@@ -3,9 +3,10 @@
 Every rule is a :class:`Rule` subclass registered with :func:`register`;
 the runner parses each file once into a :class:`FileContext` (source, AST,
 import bindings, ``noqa`` map) and hands it to every selected rule. Rules
-emit :class:`Finding` records; suppression (``# repro: noqa`` or
-``# repro: noqa[RULE1,RULE2]``) is applied centrally so individual rules
-never need to think about it.
+emit :class:`Finding` records; suppression — a ``repro: noqa`` comment,
+optionally targeted as ``repro: noqa[RULE1,RULE2]`` (hash mark omitted
+here so this docstring is not itself scanned as one) — is applied
+centrally so individual rules never need to think about it.
 """
 
 from __future__ import annotations
@@ -30,13 +31,20 @@ _NOQA_RE = re.compile(
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``severity`` is ``"error"`` (fails the run) or ``"warning"``
+    (reported, but does not affect the exit code) — the cross-module
+    passes use warnings for one-sided contract drift such as a metric
+    that is written but never read.
+    """
 
     rule: str
     path: str
     line: int
     col: int
     message: str
+    severity: str = "error"
 
     def key(self) -> str:
         """Stable identity used for baselines and deduplication."""
@@ -49,6 +57,7 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "severity": self.severity,
         }
 
 
@@ -70,6 +79,10 @@ class FileContext:
         ``{"dt": "datetime.datetime"}``.
     noqa : dict[int, set[str] | None]
         Line -> suppressed rule ids; ``None`` means "all rules".
+    noqa_ids : dict[int, list[str]]
+        Line -> the rule ids exactly as written in targeted ``noqa[...]``
+        comments (upper-cased), so the runner can reject unknown ids
+        instead of silently ignoring a typo'd suppression.
     """
 
     def __init__(self, path: str, source: str):
@@ -78,6 +91,10 @@ class FileContext:
         self.tree = ast.parse(source, filename=path)
         self.bindings = _collect_bindings(self.tree)
         self.noqa = _collect_noqa(source)
+        self.noqa_ids = {
+            line: sorted(ids) for line, ids in self.noqa.items()
+            if ids is not None
+        }
 
     def resolve(self, node: ast.AST) -> str | None:
         """Full dotted name of a Name/Attribute chain, imports resolved.

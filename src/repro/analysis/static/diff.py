@@ -1,0 +1,60 @@
+"""Diff-aware lint: restrict findings to lines changed since a git ref.
+
+``repro lint --diff-base origin/main`` gives pull requests a fast,
+focused gate: the full-tree invariants still run in the scheduled job,
+but the PR loop only fails on findings *introduced by the diff* — a
+finding on an unchanged line is pre-existing and stays out of the way.
+
+The changed-line sets come from ``git diff --unified=0`` (zero context
+lines, so every hunk maps exactly onto added/modified line ranges in
+the new file). Deleted-only hunks contribute nothing — there is no new
+line to anchor a finding to.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+
+__all__ = ["changed_lines", "parse_unified_diff"]
+
+_HUNK_RE = re.compile(r"^@@ -\d+(?:,\d+)? \+(?P<start>\d+)(?:,(?P<count>\d+))? @@")
+
+
+def parse_unified_diff(diff_text: str) -> dict[str, set[int]]:
+    """New-file path -> set of added/modified line numbers."""
+    changed: dict[str, set[int]] = {}
+    current: str | None = None
+    for line in diff_text.splitlines():
+        if line.startswith("+++ "):
+            target = line[4:].split("\t")[0].strip()
+            if target == "/dev/null":
+                current = None
+            else:
+                current = target[2:] if target.startswith("b/") else target
+            continue
+        m = _HUNK_RE.match(line)
+        if m and current is not None:
+            start = int(m.group("start"))
+            count = int(m.group("count") or "1")
+            if count:
+                changed.setdefault(current, set()).update(
+                    range(start, start + count))
+    return changed
+
+
+def changed_lines(base: str, *, cwd: str | None = None) -> dict[str, set[int]]:
+    """Changed ``*.py`` lines relative to ``base`` (committed + worktree).
+
+    Paths are repository-root-relative POSIX strings, matching the
+    finding paths produced when ``repro lint`` runs from the repo root.
+    Raises ``ValueError`` when git cannot produce the diff (not a
+    repository, unknown ref).
+    """
+    cmd = ["git", "diff", "--unified=0", "--no-color", base, "--", "*.py"]
+    proc = subprocess.run(cmd, cwd=cwd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise ValueError(
+            f"git diff against {base!r} failed: "
+            f"{proc.stderr.strip() or proc.returncode}")
+    return parse_unified_diff(proc.stdout)

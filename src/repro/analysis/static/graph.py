@@ -1,0 +1,377 @@
+"""Whole-program project graph for the cross-module contract passes.
+
+``repro lint``'s per-file rules see one AST at a time, which is exactly
+why stringly-typed contracts (fault-site names, metric names, schema
+tags, state literals) can drift: the writer and the reader live in
+different files. The :class:`ProjectGraph` parses every analyzed file
+once and adds the three whole-program views the XMOD passes consume:
+
+- **module naming** — each file gets a dotted module name with any
+  leading ``src``/``site-packages`` layout stripped, and dotted imports
+  resolve back to project modules by exact or suffix match (so fixture
+  mini-packages under ``tests/fixtures/...`` resolve their own absolute
+  imports);
+- **a call graph** — module-level functions and methods become
+  :class:`FunctionInfo` nodes; call sites are resolved through the
+  per-file import bindings, same-module names and ``self.`` receivers
+  (dynamic dispatch is out of scope — unresolvable calls are simply
+  absent, and the passes that ride on the call graph are documented as
+  under-approximate);
+- **a string index** — every string literal with its AST location, plus
+  f-strings reduced to match patterns (literal fragments kept,
+  interpolations wildcarded), so name-contract passes never re-walk
+  the forest.
+
+The graph is built once per ``repro lint`` invocation and memoized on
+``(path, mtime)`` so repeated in-process runs (the test suite, editor
+integrations) skip re-parsing unchanged trees.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.static.core import FileContext
+
+__all__ = [
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectGraph",
+    "build_graph",
+    "StringLit",
+    "fstring_pattern",
+    "pattern_to_regex",
+]
+
+_STRIP_ROOTS = ("src", "site-packages")
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a file path, project layout stripped.
+
+    ``src/repro/tt/planner.py`` -> ``repro.tt.planner``;
+    ``pkg/__init__.py`` -> ``pkg``. Paths without a recognized layout
+    root keep every component, and imports resolve by suffix match.
+    """
+    parts = list(Path(path).with_suffix("").parts)
+    for root in _STRIP_ROOTS:
+        if root in parts:
+            parts = parts[len(parts) - parts[::-1].index(root):]
+    parts = [p for p in parts if p not in ("/", "")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(p for p in parts if p)
+
+
+@dataclass
+class StringLit:
+    """One string literal (or f-string pattern) with its location."""
+
+    value: str
+    path: str
+    line: int
+    col: int
+    is_pattern: bool = False  # True when wildcards came from an f-string
+
+
+def fstring_pattern(node: ast.JoinedStr) -> str | None:
+    """Reduce an f-string to a match pattern (``*`` per interpolation).
+
+    ``f"cache.{key}"`` -> ``cache.*``; returns ``None`` when the
+    f-string has no literal fragment at all (nothing to match on).
+    """
+    parts: list[str] = []
+    has_literal = False
+    for piece in node.values:
+        if isinstance(piece, ast.Constant) and isinstance(piece.value, str):
+            parts.append(piece.value)
+            has_literal = has_literal or bool(piece.value)
+        else:
+            parts.append("*")
+    return "".join(parts) if has_literal else None
+
+
+def pattern_to_regex(pattern: str) -> re.Pattern:
+    """Compile a ``*``-wildcard pattern to a full-match regex."""
+    return re.compile(
+        "".join(".*" if c == "*" else re.escape(c) for c in pattern) + r"\Z"
+    )
+
+
+def expand_comprehension_fstring(call: ast.Call,
+                                 comp: ast.DictComp | None) -> list[str]:
+    """Expand ``{k: reg.counter(f"x.{k}") for k in ("a", "b")}`` names.
+
+    Returns the concrete metric names when the f-string's only
+    interpolation is the comprehension target iterated over a literal
+    tuple/list of strings; empty list when not statically expandable.
+    """
+    if comp is None or len(comp.generators) != 1 or not call.args:
+        return []
+    gen = comp.generators[0]
+    if not isinstance(gen.target, ast.Name):
+        return []
+    if not isinstance(gen.iter, (ast.Tuple, ast.List)):
+        return []
+    values = []
+    for elt in gen.iter.elts:
+        if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+            return []
+        values.append(elt.value)
+    fstr = call.args[0]
+    if not isinstance(fstr, ast.JoinedStr):
+        return []
+    out = []
+    for v in values:
+        parts = []
+        for piece in fstr.values:
+            if isinstance(piece, ast.Constant):
+                parts.append(str(piece.value))
+            elif (isinstance(piece, ast.FormattedValue)
+                  and isinstance(piece.value, ast.Name)
+                  and piece.value.id == gen.target.id):
+                parts.append(v)
+            else:
+                return []
+        out.append("".join(parts))
+    return out
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the call graph."""
+
+    qualname: str                     # module.Class.method / module.func
+    module: str
+    path: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    calls: list[tuple[str, ast.Call]] = field(default_factory=list)
+
+
+class ModuleInfo:
+    """One parsed file: context plus its slice of the call graph."""
+
+    def __init__(self, path: str, ctx: FileContext):
+        self.path = path
+        self.ctx = ctx
+        self.name = module_name_for(path)
+        self.functions: dict[str, FunctionInfo] = {}
+        self.strings: list[StringLit] = []
+
+
+class ProjectGraph:
+    """Parsed modules + import/call graph + string index, built once."""
+
+    def __init__(self):
+        self.modules: dict[str, ModuleInfo] = {}       # by path
+        self.by_name: dict[str, ModuleInfo] = {}       # by dotted name
+        self.functions: dict[str, FunctionInfo] = {}   # by qualname
+        self.imports: dict[str, set[str]] = {}         # module -> modules
+        self.parse_errors: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add_file(self, path: Path) -> None:
+        posix = path.as_posix()
+        if posix in self.modules:
+            return
+        try:
+            ctx = FileContext(posix, path.read_text(encoding="utf-8"))
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            self.parse_errors.append((posix, str(exc)))
+            return
+        info = ModuleInfo(posix, ctx)
+        self.modules[posix] = info
+        self.by_name[info.name] = info
+
+    def finalize(self) -> None:
+        """Resolve imports, functions and calls once every file is in."""
+        for info in self.modules.values():
+            self._index_functions(info)
+            self._index_strings(info)
+        for info in self.modules.values():
+            self._resolve_imports(info)
+            for fn in info.functions.values():
+                self._resolve_calls(info, fn)
+                self.functions[fn.qualname] = fn
+
+    def _index_functions(self, info: ModuleInfo) -> None:
+        def visit(node: ast.AST, prefix: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{prefix}.{child.name}"
+                    info.functions[qual] = FunctionInfo(
+                        qualname=qual, module=info.name, path=info.path,
+                        node=child)
+                    # Nested defs are indexed but their callees resolve
+                    # through the same module-level namespace.
+                    visit(child, qual)
+                elif isinstance(child, ast.ClassDef):
+                    visit(child, f"{prefix}.{child.name}")
+        visit(info.ctx.tree, info.name)
+
+    def _index_strings(self, info: ModuleInfo) -> None:
+        for node in ast.walk(info.ctx.tree):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                info.strings.append(StringLit(
+                    node.value, info.path, node.lineno, node.col_offset))
+            elif isinstance(node, ast.JoinedStr):
+                pattern = fstring_pattern(node)
+                if pattern is not None:
+                    info.strings.append(StringLit(
+                        pattern, info.path, node.lineno, node.col_offset,
+                        is_pattern=True))
+
+    def _resolve_imports(self, info: ModuleInfo) -> None:
+        targets: set[str] = set()
+        for node in ast.walk(info.ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    resolved = self.resolve_module(alias.name)
+                    if resolved:
+                        targets.add(resolved)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(info, node)
+                if base is None:
+                    continue
+                resolved = self.resolve_module(base)
+                if resolved:
+                    targets.add(resolved)
+                for alias in node.names:
+                    sub = self.resolve_module(f"{base}.{alias.name}")
+                    if sub:
+                        targets.add(sub)
+        self.imports[info.name] = targets
+
+    @staticmethod
+    def _import_base(info: ModuleInfo, node: ast.ImportFrom) -> str | None:
+        if not node.level:
+            return node.module
+        # Relative import: climb from the importing module's package.
+        parts = info.name.split(".")
+        if len(parts) < node.level:
+            return node.module
+        base_parts = parts[:len(parts) - node.level]
+        if node.module:
+            base_parts.append(node.module)
+        return ".".join(base_parts) if base_parts else None
+
+    def _resolve_calls(self, info: ModuleInfo, fn: FunctionInfo) -> None:
+        cls_prefix = fn.qualname.rsplit(".", 1)[0]
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = self._resolve_callee(info, cls_prefix, node)
+            if callee is not None:
+                fn.calls.append((callee, node))
+
+    def _resolve_callee(self, info: ModuleInfo, cls_prefix: str,
+                        call: ast.Call) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            local = f"{info.name}.{func.id}"
+            if local in info.functions:
+                return local
+            bound = info.ctx.bindings.get(func.id)
+            if bound:
+                return self.resolve_function_name(bound)
+            return None
+        if isinstance(func, ast.Attribute):
+            # self.method() -> a sibling method of the enclosing class.
+            if (isinstance(func.value, ast.Name) and func.value.id == "self"
+                    and cls_prefix != info.name):
+                candidate = f"{cls_prefix}.{func.attr}"
+                if candidate in info.functions:
+                    return candidate
+                return None
+            dotted = info.ctx.resolve(func)
+            if dotted:
+                return self.resolve_function_name(dotted)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def resolve_module(self, dotted: str | None) -> str | None:
+        """Project module name for a dotted import path (suffix-aware)."""
+        if not dotted:
+            return None
+        if dotted in self.by_name:
+            return dotted
+        suffix = "." + dotted
+        matches = [name for name in self.by_name if name.endswith(suffix)]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    def resolve_function_name(self, dotted: str) -> str | None:
+        """Qualname of a project function referred to by ``dotted``.
+
+        ``repro.tt.planner.BatchPlanner`` style class references resolve
+        to ``None`` (constructors are not in the function graph); plain
+        ``module.func`` and ``module.Class.method`` chains resolve when
+        the module part maps to a project module.
+        """
+        head, _, leaf = dotted.rpartition(".")
+        if not head:
+            return None
+        module = self.resolve_module(head)
+        if module is not None:
+            candidate = f"{module}.{leaf}"
+            info = self.by_name[module]
+            if candidate in info.functions:
+                return candidate
+            return None
+        # Maybe head itself is module.Class.
+        mod_part, _, cls = head.rpartition(".")
+        module = self.resolve_module(mod_part)
+        if module is not None:
+            candidate = f"{module}.{cls}.{leaf}"
+            if candidate in self.by_name[module].functions:
+                return candidate
+        return None
+
+    def context_for(self, path: str) -> FileContext | None:
+        info = self.modules.get(path)
+        return info.ctx if info else None
+
+    def iter_modules(self) -> list[ModuleInfo]:
+        return [self.modules[p] for p in sorted(self.modules)]
+
+
+_GRAPH_CACHE: dict[tuple, ProjectGraph] = {}
+
+
+def build_graph(files: list[Path]) -> ProjectGraph:
+    """Build (or reuse) the project graph over ``files``.
+
+    Memoized on the sorted ``(path, mtime_ns)`` signature, so repeated
+    lint runs in one process — the common case in the test suite —
+    parse each tree exactly once.
+    """
+    sig = []
+    for f in sorted({Path(p).as_posix() for p in files}):
+        p = Path(f)
+        try:
+            sig.append((f, p.stat().st_mtime_ns))
+        except OSError:
+            sig.append((f, -1))
+    key = tuple(sig)
+    cached = _GRAPH_CACHE.get(key)
+    if cached is not None:
+        return cached
+    graph = ProjectGraph()
+    for f, _ in sig:
+        graph.add_file(Path(f))
+    graph.finalize()
+    # Bound the cache: lint runs cycle through few distinct file sets.
+    if len(_GRAPH_CACHE) > 8:
+        _GRAPH_CACHE.clear()
+    _GRAPH_CACHE[key] = graph
+    return graph

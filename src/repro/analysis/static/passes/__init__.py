@@ -1,0 +1,13 @@
+"""The cross-module contract passes (XMOD001-XMOD005).
+
+Importing this package registers every pass with
+:func:`repro.analysis.static.contracts.all_passes`.
+"""
+
+from repro.analysis.static.passes import (  # noqa: F401
+    dtype_flow,
+    metrics,
+    schemas,
+    sites,
+    states,
+)

@@ -47,7 +47,23 @@ _RNG_CONSTRUCTORS = {
 
 @register
 class GlobalRandomRule(Rule):
-    """RNG001: no global-state ``np.random.<fn>()`` outside the seeding module."""
+    """RNG001: no global-state ``np.random.<fn>()`` outside the seeding module.
+
+    Rationale: calls through ``numpy.random``'s hidden module-level
+    stream make results depend on every other draw that happened before
+    them, so reordering any code path silently changes data, init and
+    fault schedules. All randomness must flow from an explicit seeded
+    ``Generator`` threaded through ``repro.utils.seeding``.
+
+    Bad::
+
+        noise = np.random.standard_normal(shape)
+
+    Good::
+
+        rng = as_rng(seed)
+        noise = rng.standard_normal(shape)
+    """
 
     id = "RNG001"
     summary = "global-state np.random call; thread a Generator via repro.utils.seeding"
@@ -80,7 +96,21 @@ class GlobalRandomRule(Rule):
 
 @register
 class Float64LiteralRule(Rule):
-    """DT001: no hard-coded ``np.float64`` in hot-path modules."""
+    """DT001: no hard-coded ``np.float64`` in hot-path modules.
+
+    Rationale: TT-Rec's entire point is memory compression; a literal
+    ``np.float64`` in the TT/ops/cache hot path doubles a buffer and
+    upcasts everything it touches, independent of the model's configured
+    dtype. Derive dtypes from operands or ``repro.utils.dtypes``.
+
+    Bad::
+
+        acc = np.zeros(n, dtype=np.float64)
+
+    Good::
+
+        acc = np.zeros(n, dtype=result_dtype(core_a, core_b))
+    """
 
     id = "DT001"
     summary = "hard-coded np.float64 in a hot-path module; use repro.utils.dtypes"
@@ -105,7 +135,22 @@ _ALLOC_FNS = {"numpy.empty", "numpy.zeros", "numpy.ones"}
 
 @register
 class UntypedAllocRule(Rule):
-    """DT002: ``np.empty/zeros/ones`` without an explicit dtype in hot paths."""
+    """DT002: ``np.empty/zeros/ones`` without an explicit dtype in hot paths.
+
+    Rationale: dtype-less numpy allocators default to float64, so one
+    forgotten ``dtype=`` in the hot path allocates a double-width buffer
+    and upcasts every float32 operand combined with it — the exact
+    memory blow-up the compression exists to avoid, and it shows up only
+    as a quiet perf/memory regression.
+
+    Bad::
+
+        out = np.empty((batch, dim))
+
+    Good::
+
+        out = np.empty((batch, dim), dtype=cores[0].dtype)
+    """
 
     id = "DT002"
     summary = "dtype-less np.empty/zeros/ones allocation in a hot-path module"
@@ -139,7 +184,24 @@ _LOOPS = (ast.For, ast.While, ast.ListComp, ast.SetComp, ast.DictComp,
 
 @register
 class AstypeInLoopRule(Rule):
-    """DT003: ``.astype`` copies inside loops in hot paths."""
+    """DT003: ``.astype`` copies inside loops in hot paths.
+
+    Rationale: ``.astype`` always allocates a fresh array; inside a loop
+    that is one full-buffer copy per iteration, turning an O(1)
+    conversion into O(iterations) allocations on the code the benchmarks
+    gate. Convert once before the loop.
+
+    Bad::
+
+        for core in cores:
+            acc = acc @ core.astype(np.float32)
+
+    Good::
+
+        cores32 = [np.asarray(c, dtype=np.float32) for c in cores]
+        for core in cores32:
+            acc = acc @ core
+    """
 
     id = "DT003"
     summary = "astype copy inside a loop in a hot-path module"
@@ -192,7 +254,22 @@ _WALL_CLOCK = {
 
 @register
 class WallClockRule(Rule):
-    """DET001: no wall-clock reads in compute paths (use injectable clocks)."""
+    """DET001: no wall-clock reads in compute paths (use injectable clocks).
+
+    Rationale: any decision taken off ``time.time()`` or
+    ``datetime.now()`` differs between two runs of the same seed, so
+    replays and chaos drills stop being byte-identical. Durations come
+    from ``perf_counter``; schedule decisions come from an injected
+    (Manual) clock.
+
+    Bad::
+
+        deadline = time.time() * 1000 + budget_ms
+
+    Good::
+
+        deadline = clock.now_ms() + budget_ms
+    """
 
     id = "DET001"
     summary = "wall-clock read in a compute path; inject a clock instead"
@@ -237,6 +314,14 @@ class ProcessEntropyRule(Rule):
     ``secrets``), the process-global stdlib ``random`` stream, or an
     unseeded ``default_rng()`` gives each "process" state the replay
     cannot reconstruct, so chaos schedules stop being reproducible.
+
+    Bad::
+
+        request_id = uuid.uuid4().hex
+
+    Good::
+
+        request_id = f"req-{rng.integers(2**63)}"   # rng from shared seed
     """
 
     id = "DET003"
@@ -288,7 +373,23 @@ class ProcessEntropyRule(Rule):
 
 @register
 class SetIterationRule(Rule):
-    """DET002: no iteration over sets (nondeterministic order)."""
+    """DET002: no iteration over sets (nondeterministic order).
+
+    Rationale: set iteration order depends on hash seeding and insertion
+    history, so any float reduction, schedule or output built by walking
+    a set can differ between identical runs. Sort the set (or keep a
+    list) wherever the order can reach computation or artifacts.
+
+    Bad::
+
+        for shard in {w.shard for w in workers}:
+            rebalance(shard)
+
+    Good::
+
+        for shard in sorted({w.shard for w in workers}):
+            rebalance(shard)
+    """
 
     id = "DET002"
     summary = "iteration over a set; order is nondeterministic across runs"
@@ -326,7 +427,26 @@ class SetIterationRule(Rule):
 
 @register
 class BareExceptRule(Rule):
-    """EXC001: no bare ``except:``."""
+    """EXC001: no bare ``except:``.
+
+    Rationale: a bare ``except:`` catches ``KeyboardInterrupt`` and
+    ``SystemExit`` too, so a hung chaos run cannot even be Ctrl-C'd out
+    of, and the handler hides what it actually intended to catch.
+
+    Bad::
+
+        try:
+            step()
+        except:
+            pass
+
+    Good::
+
+        try:
+            step()
+        except ShardTimeout:
+            retry()
+    """
 
     id = "EXC001"
     summary = "bare except swallows KeyboardInterrupt/SystemExit"
@@ -372,7 +492,24 @@ def _handler_observes(handler: ast.ExceptHandler) -> bool:
 
 @register
 class SilentExceptionRule(Rule):
-    """EXC002: ``except Exception`` must re-raise or leave a telemetry trace."""
+    """EXC002: ``except Exception`` must re-raise or leave a telemetry trace.
+
+    Rationale: the reliability tier reconciles every injected fault
+    against a defensive counter; an ``except Exception`` that swallows
+    the fault without incrementing a counter, emitting an event or
+    re-raising makes the ledger lie — faults happen and nothing shows.
+
+    Bad::
+
+        except Exception:
+            result = None
+
+    Good::
+
+        except Exception:
+            self._failures.inc()
+            result = None
+    """
 
     id = "EXC002"
     summary = "except Exception that neither re-raises nor records the fault"
@@ -410,10 +547,23 @@ _VIEW_FUNCS = {"numpy.asarray", "numpy.ascontiguousarray", "numpy.atleast_1d",
 class ArgumentMutationRule(Rule):
     """MUT001: no in-place writes to function-argument arrays in kernel scope.
 
-    Tracks simple aliases (``flat = buf.reshape(...)``) so a view does not
-    launder the mutation. Functions whose name ends in ``_`` follow the
-    torch convention of documented in-place semantics and are exempt, as
-    are ``self``/``cls``.
+    Rationale: kernels receiving caller-owned arrays must not write into
+    them — the caller may be holding a view of model state, and an
+    aliased in-place update corrupts it invisibly. Tracks simple aliases
+    (``flat = buf.reshape(...)``) so a view does not launder the
+    mutation. Functions whose name ends in ``_`` follow the torch
+    convention of documented in-place semantics and are exempt, as are
+    ``self``/``cls``.
+
+    Bad::
+
+        def normalize(rows):
+            rows /= np.linalg.norm(rows, axis=1, keepdims=True)
+
+    Good::
+
+        def normalize(rows):
+            return rows / np.linalg.norm(rows, axis=1, keepdims=True)
     """
 
     id = "MUT001"
@@ -512,6 +662,16 @@ class TraceContextRule(Rule):
     direct ``Tracer.span``) inside ``trace_scope`` records into the
     aggregate tree only, so sampled request traces silently lose that
     hop and events cannot be joined to the requests in flight.
+
+    Bad::
+
+        with trace("backend.lookup"):
+            rows = backend.lookup(indices)
+
+    Good::
+
+        with traced_span("backend.lookup"):
+            rows = backend.lookup(indices)
     """
 
     id = "OBS001"
@@ -544,3 +704,41 @@ class TraceContextRule(Rule):
                     "propagation; use repro.telemetry.traced_span()",
                 ))
         return out
+
+
+# --------------------------------------------------------------------- #
+# Suppression hygiene
+# --------------------------------------------------------------------- #
+
+
+@register
+class UnknownSuppressionRule(Rule):
+    """NOQA001: targeted ``noqa[...]`` comments must name real rule ids.
+
+    Rationale: a suppression naming a rule that does not exist (typo,
+    renamed rule, copy-paste from another linter) is dead weight at best
+    — and at worst it convinces a reader the line is exempt from a check
+    it is not. Unknown ids are an error instead of being silently
+    ignored. Comma lists are fine: every id in the list is validated.
+
+    The leading ``#`` is omitted from the examples below so that this
+    docstring is not itself scanned as a suppression comment.
+
+    Bad::
+
+        x = np.zeros(n)  ... repro: noqa[DT0002]   (typo'd id: dead)
+
+    Good::
+
+        x = np.zeros(n)  ... repro: noqa[DT002]
+
+    The findings themselves are emitted by the runner, which is the only
+    layer that knows the full registry (per-file rules plus XMOD
+    contract passes).
+    """
+
+    id = "NOQA001"
+    summary = "unknown rule id named in a targeted noqa suppression"
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        return []

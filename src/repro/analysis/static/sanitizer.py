@@ -19,7 +19,10 @@ step::
 
 Overhead is one ``np.isfinite(...).all()`` per layer per call — fine for
 debugging runs and chaos tests, not free; it is a context manager, not an
-always-on hook, for exactly that reason.
+always-on hook, for exactly that reason. Every boundary check increments
+``sanitizer.checks`` and every caught fault ``sanitizer.trips`` in the
+shared metrics registry, so chaos runs can reconcile planted versus
+caught corruption.
 """
 
 from __future__ import annotations

@@ -1,0 +1,149 @@
+"""SARIF 2.1.0 output for ``repro lint`` (``--format sarif``).
+
+SARIF (Static Analysis Results Interchange Format) is the industry
+exchange format code-scanning UIs ingest — emitting it lets CI upload
+lint findings to the code-scanning pane instead of burying them in job
+logs. Only the small stable core of the spec is produced: one run, the
+tool's rule metadata, one result per finding with a physical location,
+and parse errors as tool-execution notifications.
+
+There is no third-party schema validator in the environment, so
+:func:`validate_sarif` hand-checks the structural subset this module
+emits (and that the upload endpoints actually require); the test suite
+runs every emitted document through it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.static.contracts import all_passes
+from repro.analysis.static.core import all_rules
+
+__all__ = ["SARIF_VERSION", "format_sarif", "validate_sarif"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+_LEVELS = ("none", "note", "warning", "error")
+
+
+def _rule_metadata() -> list[dict]:
+    entries: dict[str, type] = {}
+    entries.update(all_rules())
+    entries.update(all_passes())
+    out = []
+    for rid, cls in sorted(entries.items()):
+        doc = (cls.__doc__ or "").strip()
+        full = doc.split("\n\n")[0].replace("\n", " ").strip() or cls.summary
+        out.append({
+            "id": rid,
+            "name": rid,
+            "shortDescription": {"text": cls.summary or rid},
+            "fullDescription": {"text": full},
+            "defaultConfiguration": {"level": "error"},
+        })
+    return out
+
+
+def format_sarif(report, *, tool_version: str = "1.0") -> str:
+    """Render a :class:`~repro.analysis.static.runner.LintReport`."""
+    results = []
+    for f in report.findings:
+        results.append({
+            "ruleId": f.rule,
+            "level": "error" if f.severity == "error" else "warning",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                    "region": {
+                        "startLine": max(f.line, 1),
+                        "startColumn": f.col + 1,
+                    },
+                },
+            }],
+        })
+    notifications = [
+        {
+            "level": "error",
+            "message": {"text": f"parse error: {err}"},
+            "locations": [{
+                "physicalLocation": {"artifactLocation": {"uri": path}},
+            }],
+        }
+        for path, err in report.parse_errors
+    ]
+    doc = {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "version": tool_version,
+                    "rules": _rule_metadata(),
+                },
+            },
+            "invocations": [{
+                "executionSuccessful": report.ok,
+                "toolExecutionNotifications": notifications,
+            }],
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2)
+
+
+def validate_sarif(doc: dict) -> None:
+    """Raise ``ValueError`` unless ``doc`` is structurally valid SARIF.
+
+    Checks the invariants the 2.1.0 spec makes mandatory for the subset
+    we emit: version, runs, driver name, rule metadata ids, and for each
+    result a known ``ruleId``, a ``message.text`` and a physical
+    location with a 1-based ``startLine``.
+    """
+    if doc.get("version") != SARIF_VERSION:
+        raise ValueError(
+            f"expected SARIF version {SARIF_VERSION}, "
+            f"got {doc.get('version')!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        raise ValueError("runs must be a non-empty list")
+    for run in runs:
+        driver = run.get("tool", {}).get("driver", {})
+        if not isinstance(driver.get("name"), str) or not driver["name"]:
+            raise ValueError("tool.driver.name must be a non-empty string")
+        rule_ids = set()
+        for rule in driver.get("rules", []):
+            rid = rule.get("id")
+            if not isinstance(rid, str) or not rid:
+                raise ValueError(f"rule without a string id: {rule}")
+            if rid in rule_ids:
+                raise ValueError(f"duplicate rule id {rid}")
+            rule_ids.add(rid)
+            if "text" not in rule.get("shortDescription", {}):
+                raise ValueError(f"rule {rid} missing shortDescription.text")
+        results = run.get("results")
+        if not isinstance(results, list):
+            raise ValueError("run.results must be a list")
+        for result in results:
+            rid = result.get("ruleId")
+            if rid not in rule_ids:
+                raise ValueError(f"result references unknown rule {rid!r}")
+            if result.get("level") not in _LEVELS:
+                raise ValueError(f"result has invalid level: {result}")
+            if not isinstance(
+                    result.get("message", {}).get("text"), str):
+                raise ValueError(f"result missing message.text: {rid}")
+            locations = result.get("locations")
+            if not isinstance(locations, list) or not locations:
+                raise ValueError(f"result missing locations: {rid}")
+            for loc in locations:
+                phys = loc.get("physicalLocation", {})
+                uri = phys.get("artifactLocation", {}).get("uri")
+                if not isinstance(uri, str) or not uri:
+                    raise ValueError(f"location missing artifact uri: {rid}")
+                start = phys.get("region", {}).get("startLine")
+                if not isinstance(start, int) or start < 1:
+                    raise ValueError(
+                        f"location has invalid startLine: {rid}")

@@ -937,26 +937,58 @@ def _cmd_slo_report(args) -> int:
     return 0 if rep["gate_passed"] else 1
 
 
-def _cmd_lint(args) -> int:
-    import json as _json
+def _explain_rule(rule_id: str) -> int:
+    """Print a rule's documentation (id, summary, rationale, examples)."""
+    import inspect
 
+    from repro.analysis.static.contracts import all_passes
+    from repro.analysis.static.core import all_rules
+
+    entries = {**all_rules(), **all_passes()}
+    cls = entries.get(rule_id.upper())
+    if cls is None:
+        print(f"repro lint: unknown rule id '{rule_id}'; available: "
+              + ", ".join(sorted(entries)), file=sys.stderr)
+        return 2
+    print(f"{cls.id}: {cls.summary}")
+    doc = inspect.getdoc(cls)
+    if doc:
+        print()
+        print(doc)
+    return 0
+
+
+def _cmd_lint(args) -> int:
     from repro.analysis.static.runner import (
-        LintConfig,
         format_json,
         format_text,
         lint_paths,
         load_config,
         write_baseline,
     )
+    from repro.analysis.static.sarif import format_sarif
+
+    if args.explain:
+        return _explain_rule(args.explain)
 
     config = load_config(args.config)
     if args.select:
         config.select = [r.upper() for r in args.select]
     if args.ignore:
         config.ignore = [r.upper() for r in args.ignore]
+    changed = None
+    if args.diff_base:
+        from repro.analysis.static.diff import changed_lines
+
+        try:
+            changed = changed_lines(args.diff_base)
+        except ValueError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
     try:
-        report = lint_paths(args.paths, config=config, baseline=args.baseline)
-    except FileNotFoundError as exc:
+        report = lint_paths(args.paths, config=config,
+                            baseline=args.baseline, changed=changed)
+    except (FileNotFoundError, ValueError) as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
     if args.write_baseline:
@@ -964,8 +996,9 @@ def _cmd_lint(args) -> int:
         print(f"wrote baseline with {len(report.findings)} key(s) to "
               f"{args.write_baseline}")
         return 0
-    if args.format == "json":
-        text = format_json(report)
+    if args.format in ("json", "sarif"):
+        text = format_json(report) if args.format == "json" \
+            else format_sarif(report)
         if args.output:
             from pathlib import Path
 
@@ -1189,11 +1222,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "(docs/STATIC_ANALYSIS.md); exit 1 on findings")
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
-    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text")
     p.add_argument("--select", nargs="+", metavar="RULE", default=None,
                    help="run only these rule ids")
     p.add_argument("--ignore", nargs="+", metavar="RULE", default=None,
                    help="skip these rule ids")
+    p.add_argument("--diff-base", default=None, metavar="REF",
+                   help="report only findings on lines changed since this "
+                        "git ref (e.g. origin/main)")
+    p.add_argument("--explain", default=None, metavar="RULE",
+                   help="print a rule's documentation and exit")
     p.add_argument("--baseline", default=None, metavar="PATH",
                    help="JSON baseline of grandfathered finding keys")
     p.add_argument("--write-baseline", default=None, metavar="PATH",

@@ -41,7 +41,11 @@ Ledger reconciliation (:func:`reconcile_elastic`) balances every
 lost batches: every batch fed is applied exactly once, every sample
 accounted. The whole drill is deterministic — ManualClock plus one seeded
 injector stream — so same-seed runs produce byte-identical ledgers and
-flight dumps.
+flight dumps. Beyond the reconciled counters the drill exports
+``dist.step.applied`` (optimizer steps actually applied),
+``dist.kills_scheduled{worker=}`` (operator-scheduled kills, as opposed
+to injector crashes) and the ``dist.recover.time_ms`` histogram
+(down → readmitted, simulated milliseconds).
 """
 
 from __future__ import annotations

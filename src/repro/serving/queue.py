@@ -19,6 +19,10 @@ chaos tests and the ``serve-bench`` load generator run on a
 A :class:`~repro.reliability.fault_injection.FaultInjector` probed at
 ``serving.queue`` models a lost queue entry: a firing fault sheds the
 arriving request (counted separately, reconciled by ``serve-bench``).
+
+The queue exports ``serving.enqueued`` (accepted arrivals),
+``serving.shed{reason=}`` (one counter per shed reason) and the
+``serving.queue_depth`` gauge to the shared metrics registry.
 """
 
 from __future__ import annotations

@@ -23,7 +23,9 @@ Chaos-testable by construction: a
 ``serving.request`` (corrupt inbound payload), ``serving.queue`` (lost
 queue entry) and ``serving.backend`` (poisoned backend output), and every
 defensive action is counted in the shared metrics registry so
-``repro serve-bench`` can reconcile them against the injector.
+``repro serve-bench`` can reconcile them against the injector; ladder
+descents specifically are counted per table and rung under
+``serving.fallback{table=,rung=}``.
 """
 
 from __future__ import annotations

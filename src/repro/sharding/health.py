@@ -15,7 +15,10 @@ primary detector.
 
 The plane only tracks and reports; the routing decisions (replica
 failover, prior-row degradation, restart scheduling) belong to
-:class:`~repro.sharding.router.ShardRouter`.
+:class:`~repro.sharding.router.ShardRouter`. Under its metric ``prefix``
+it exports ``<prefix>.heartbeat_rounds`` (probe rounds run), per-shard
+``<prefix>.heartbeat_misses`` counters and an ``<prefix>.up`` gauge
+(currently-up member count).
 """
 
 from __future__ import annotations

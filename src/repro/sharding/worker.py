@@ -188,7 +188,11 @@ class ShardWorker:
                          until_ms=self.hang_until)
 
     def kill(self, now: float, *, cause: str = "scheduled") -> None:
-        """Crash the shard (fault-injected or ``--kill-shard`` scheduled)."""
+        """Crash the shard (fault-injected or ``--kill-shard`` scheduled).
+
+        Operator-scheduled kills are counted separately from injector
+        crashes, under ``shard.kills_scheduled{shard=}``.
+        """
         if self.state == "down":
             return
         if cause == "fault":

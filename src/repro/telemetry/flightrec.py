@@ -38,6 +38,7 @@ __all__ = [
     "install_flight_recorder",
     "uninstall_flight_recorder",
     "get_flight_recorder",
+    "read_dump",
 ]
 
 FLIGHT_SCHEMA = "repro.flightrec/v1"
@@ -133,6 +134,27 @@ class FlightRecorder:
             "dumps": dict(sorted(self._dumped.items())),
             "suppressed": dict(sorted(self._suppressed.items())),
         }
+
+
+def read_dump(path: str | os.PathLike) -> dict:
+    """Load and validate one ``flightrec-*.json`` dump.
+
+    Post-hoc tooling goes through here rather than raw ``json.load`` so
+    a dump from a different contract generation fails loudly instead of
+    mis-parsing.
+    """
+    with open(path) as fh:
+        doc = json.load(fh)
+    schema = doc.get("schema")
+    if schema != FLIGHT_SCHEMA:
+        raise ValueError(
+            f"{os.fspath(path)}: expected schema {FLIGHT_SCHEMA}, "
+            f"got {schema!r}"
+        )
+    for field in ("trigger", "at_ms", "events", "traces", "counters_delta"):
+        if field not in doc:
+            raise ValueError(f"{os.fspath(path)}: missing field {field!r}")
+    return doc
 
 
 _RECORDER: FlightRecorder | None = None

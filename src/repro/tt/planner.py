@@ -34,6 +34,9 @@ policy; alternate schedules apply to lookup-only execution (inference,
 cache fills, ``store_intermediates=False`` forwards recompute in ``l2r``).
 This is also what keeps planned gradients bit-identical to the unplanned
 path. See docs/KERNELS.md for the cost model and the benchmark gate.
+Planning effort is observable through the ``tt.plan.*`` counters:
+``flops_planned``/``flops_executed``/``flops_saved``, ``dedup_removed``,
+and ``tt.plan.memo_hits``/``tt.plan.memo_misses`` for the schedule memo.
 """
 
 from __future__ import annotations

@@ -1,0 +1,6 @@
+"""Fixture: targeted suppression naming a rule id that does not exist."""
+import numpy as np
+
+
+def sample(n):
+    return np.random.rand(n)  # repro: noqa[RNG999]

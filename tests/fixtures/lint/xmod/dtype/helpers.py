@@ -1,0 +1,11 @@
+"""Fixture cold-module allocators for XMOD005."""
+
+import numpy as np
+
+
+def padding_block(n):
+    return np.zeros((n, 8))
+
+
+def narrow_block(n):
+    return np.zeros((n, 8), dtype=np.float32)

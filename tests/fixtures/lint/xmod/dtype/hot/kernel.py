@@ -1,0 +1,17 @@
+"""Fixture hot-path callers for XMOD005 (one untyped leak)."""
+
+import numpy as np
+
+from helpers import narrow_block, padding_block
+
+
+def pad(n):
+    return padding_block(n)
+
+
+def pad_ok(n):
+    return narrow_block(n)
+
+
+def pad_cast(n):
+    return padding_block(n).astype(np.float32)

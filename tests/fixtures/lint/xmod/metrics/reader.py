@@ -1,0 +1,7 @@
+"""Fixture metric readers for XMOD002 (one read of an unwritten name)."""
+
+
+def consume(reg):
+    total = reg.counter("fix.hits").value
+    ghost = reg.counter("fix.ghost").value
+    return total + ghost

@@ -1,0 +1,8 @@
+"""Fixture metric writers for XMOD002 (one write-only orphan)."""
+
+
+def record(reg):
+    hits = reg.counter("fix.hits")
+    hits.inc()
+    depth = reg.gauge("fix.orphan_write")
+    depth.set(3)

@@ -1,0 +1,3 @@
+"""Fixture stray schema-tag occurrence for XMOD003 (version drift)."""
+
+EXPECTED = "repro.fix/v2"

@@ -1,0 +1,7 @@
+"""Fixture JSONL schema reader for XMOD003."""
+
+
+def load(record):
+    if record.get("schema") != "repro.fix/v1":
+        raise ValueError("bad schema")
+    return record["payload"]

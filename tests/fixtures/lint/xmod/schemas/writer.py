@@ -1,0 +1,11 @@
+"""Fixture JSONL schema writers for XMOD003 (one unvalidated tag)."""
+
+TAG = "repro.fix/v1"
+
+
+def dump(payload):
+    return {"schema": TAG, "payload": payload}
+
+
+def dump_orphan(payload):
+    return {"schema": "repro.fixorphan/v1", "payload": payload}

@@ -1,0 +1,7 @@
+"""Fixture fire sites for XMOD001 (one typo'd site name)."""
+
+
+def drill(injector):
+    injector.fires("shard.crash")
+    injector.draw("shard.slow")
+    injector.fires("shard.crashh")

@@ -1,0 +1,7 @@
+"""Fixture fault-site registry for XMOD001 (one dead entry)."""
+
+KNOWN_SITES = (
+    "shard.crash",
+    "shard.slow",
+    "registry.orphan",
+)

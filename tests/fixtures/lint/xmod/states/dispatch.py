@@ -1,0 +1,18 @@
+"""Fixture state dispatchers for XMOD004 (typo + non-exhaustive chain)."""
+
+
+def tick(worker):
+    if worker.state == "runnning":
+        return 1
+    return 0
+
+
+def is_limbo(worker):
+    return worker.state == "limbo"
+
+
+def classify(worker):
+    if worker.state == "idle":
+        return "cold"
+    elif worker.state == "running":
+        return "hot"

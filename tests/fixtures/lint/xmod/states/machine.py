@@ -1,0 +1,20 @@
+"""Fixture state producers for XMOD004 (one undispatched state)."""
+
+
+class Worker:
+    def __init__(self):
+        self.state = "idle"
+
+    def start(self):
+        self.state = "running"
+
+    def park(self):
+        self.state = "parked"
+
+    def force(self, to):
+        self.state = to
+        if to == "limbo":
+            self.notify()
+
+    def notify(self):
+        pass

@@ -9,6 +9,7 @@ over the repo's own ``src/`` tree and requires a clean exit.
 """
 
 import json
+import subprocess
 from pathlib import Path
 
 import numpy as np
@@ -20,7 +21,9 @@ from repro.analysis.static import (
     all_rules,
     lint_paths,
 )
+from repro.analysis.static.contracts import all_passes
 from repro.analysis.static.core import FileContext
+from repro.analysis.static.diff import parse_unified_diff
 from repro.analysis.static.rules import path_matches
 from repro.analysis.static.runner import (
     LintConfig,
@@ -29,6 +32,7 @@ from repro.analysis.static.runner import (
     validate_report,
     write_baseline,
 )
+from repro.analysis.static.sarif import format_sarif, validate_sarif
 from repro.cli import main
 from repro.data import KAGGLE, SyntheticCTRDataset
 from repro.models import DLRMConfig, TTConfig, build_ttrec
@@ -50,6 +54,24 @@ def lint_fixture(name: str, **config_overrides):
 
 def fired(report, rule):
     return [(f.line, f.rule) for f in report.findings if f.rule == rule]
+
+
+XMOD = FIXTURES / "xmod"
+
+
+def lint_xmod(sub: str, select: list[str], **config_overrides):
+    """Lint one XMOD fixture mini-package self-contained (no graph roots)."""
+    cfg = load_config(PYPROJECT)
+    cfg.select = select
+    cfg.graph_roots = []
+    for key, value in config_overrides.items():
+        setattr(cfg, key, value)
+    return lint_paths([XMOD / sub], config=cfg)
+
+
+def located(report, rule):
+    return [(Path(f.path).name, f.line) for f in report.findings
+            if f.rule == rule]
 
 
 class TestRuleFixtures:
@@ -148,8 +170,208 @@ class TestRuleFixtures:
         assert set(all_rules()) == {
             "RNG001", "DT001", "DT002", "DT003",
             "DET001", "DET002", "DET003", "EXC001", "EXC002", "MUT001",
-            "OBS001",
+            "OBS001", "NOQA001",
         }
+        assert set(all_passes()) == {
+            "XMOD001", "XMOD002", "XMOD003", "XMOD004", "XMOD005",
+        }
+
+    def test_noqa001_unknown_suppression_id(self):
+        report = lint_fixture("viol_noqa001.py")
+        # The bogus id neither suppresses RNG001 nor goes unnoticed.
+        assert fired(report, "NOQA001") == [(6, "NOQA001")]
+        assert fired(report, "RNG001") == [(6, "RNG001")]
+
+    def test_noqa_multi_rule_comma_list(self):
+        src = ("import numpy as np\n"
+               "x = np.random.rand(3)  # repro: noqa[RNG001, DT001]\n")
+        ctx = FileContext("x.py", src)
+        assert ctx.suppressed("RNG001", 2)
+        assert ctx.suppressed("DT001", 2)
+        assert not ctx.suppressed("EXC001", 2)
+
+
+class TestContractPasses:
+    """Each XMOD pass reproduces its planted cross-module drift at the
+    expected file and line, and nothing else fires."""
+
+    def test_xmod001_fault_site_drift_both_directions(self):
+        report = lint_xmod("sites", ["XMOD001"],
+                           fault_registry=["xmod/sites/registry.py"])
+        assert located(report, "XMOD001") == [
+            ("fire.py", 7),       # typo'd site never registered
+            ("registry.py", 6),   # registered site never fired
+        ]
+        assert all(f.severity == "error" for f in report.findings)
+        assert not report.ok
+
+    def test_xmod002_metric_drift(self):
+        report = lint_xmod("metrics", ["XMOD002"])
+        assert located(report, "XMOD002") == [
+            ("reader.py", 6),   # read of a never-written name
+            ("writer.py", 7),   # write-only orphan
+        ]
+        severity = {Path(f.path).name: f.severity for f in report.findings}
+        assert severity == {"reader.py": "error", "writer.py": "warning"}
+        # Unmatched reads fail the run; write-only orphans alone do not.
+        assert not report.ok
+        assert len(report.warnings) == 1
+
+    def test_xmod003_schema_tag_drift(self):
+        report = lint_xmod("schemas", ["XMOD003"])
+        assert located(report, "XMOD003") == [
+            ("drift.py", 3),    # minority version against prevailing v1
+            ("writer.py", 11),  # written tag with no reader
+        ]
+
+    def test_xmod004_state_machine_drift(self):
+        report = lint_xmod("states", ["XMOD004"],
+                           state_scope=["xmod/states"])
+        assert located(report, "XMOD004") == [
+            ("dispatch.py", 5),    # comparison against a typo'd state
+            ("dispatch.py", 15),   # non-exhaustive chain, no else
+            ("machine.py", 12),    # state assigned but never dispatched on
+        ]
+        warnings = report.warnings
+        assert [f.line for f in warnings] == [15]
+        assert "limbo, parked" in warnings[0].message
+
+    def test_xmod004_local_flow_production(self):
+        # "limbo" reaches the attribute only through a local
+        # (`self.state = to` after `if to == "limbo"`): the comparison in
+        # dispatch.py must not be reported as dead.
+        report = lint_xmod("states", ["XMOD004"], state_scope=["xmod/states"])
+        assert not any("'limbo'" in f.message and "never assigned" in f.message
+                       for f in report.findings)
+
+    def test_xmod004_single_guard_if_is_not_a_chain(self):
+        # dispatch.py has two single-branch guards (lines 5 and 11); only
+        # the real if/elif chain at line 15 may warn about missing states.
+        report = lint_xmod("states", ["XMOD004"], state_scope=["xmod/states"])
+        assert [f.line for f in report.warnings] == [15]
+
+    def test_xmod005_dtype_taint(self):
+        report = lint_xmod("dtype", ["XMOD005"],
+                           hot_path=["xmod/dtype/hot"])
+        # Only the raw leak fires: the dtype'd helper and the
+        # `.astype(...)`-at-the-boundary call are exempt.
+        assert located(report, "XMOD005") == [("kernel.py", 9)]
+
+    def test_xmod_passes_obey_select(self):
+        report = lint_xmod("states", ["XMOD005"], state_scope=["xmod/states"])
+        assert report.findings == []
+
+    def test_select_unknown_rule_id_raises(self):
+        cfg = load_config(PYPROJECT)
+        cfg.select = ["NOPE001"]
+        with pytest.raises(ValueError):
+            lint_paths([FIXTURES / "clean.py"], config=cfg)
+
+
+class TestSarif:
+    def test_sarif_document_validates(self):
+        report = lint_fixture("viol_rng001.py")
+        doc = json.loads(format_sarif(report))
+        validate_sarif(doc)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert {r["ruleId"] for r in run["results"]} == {"RNG001"}
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"RNG001", "XMOD004", "NOQA001"} <= rule_ids
+
+    def test_sarif_levels_follow_severity(self):
+        report = lint_xmod("metrics", ["XMOD002"])
+        doc = json.loads(format_sarif(report))
+        validate_sarif(doc)
+        levels = sorted(r["level"] for r in doc["runs"][0]["results"])
+        assert levels == ["error", "warning"]
+
+    def test_sarif_region_lines(self):
+        report = lint_fixture("viol_rng001.py")
+        doc = json.loads(format_sarif(report))
+        lines = [r["locations"][0]["physicalLocation"]["region"]["startLine"]
+                 for r in doc["runs"][0]["results"]]
+        assert lines == [6, 7]
+
+    def test_validate_sarif_rejects_malformed(self):
+        report = lint_fixture("viol_rng001.py")
+        doc = json.loads(format_sarif(report))
+        doc["runs"][0]["results"][0]["ruleId"] = "NOT_A_RULE"
+        with pytest.raises(ValueError):
+            validate_sarif(doc)
+        with pytest.raises(ValueError):
+            validate_sarif({"version": "2.1.0", "runs": []})
+
+    def test_cli_sarif_output(self, tmp_path, capsys):
+        out = tmp_path / "lint.sarif"
+        rc = main(["lint", str(FIXTURES / "viol_rng001.py"),
+                   "--config", str(PYPROJECT),
+                   "--format", "sarif", "--output", str(out)])
+        assert rc == 1
+        doc = json.loads(out.read_text())
+        validate_sarif(doc)
+        assert doc["runs"][0]["results"]
+
+
+class TestDiffAware:
+    def test_parse_unified_diff(self):
+        text = ("diff --git a/m.py b/m.py\n"
+                "--- a/m.py\n"
+                "+++ b/m.py\n"
+                "@@ -0,0 +3,2 @@\n"
+                "+x = 1\n"
+                "+y = 2\n")
+        assert parse_unified_diff(text) == {"m.py": {3, 4}}
+
+    def test_diff_base_filters_unchanged_findings(self, tmp_path,
+                                                  monkeypatch, capsys):
+        subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+        mod = tmp_path / "mod.py"
+        mod.write_text("import numpy as np\n\n\ndef old(n):\n"
+                       "    return np.random.rand(n)\n")
+        subprocess.run(["git", "add", "mod.py"], cwd=tmp_path, check=True)
+        subprocess.run(
+            ["git", "-c", "user.name=t", "-c", "user.email=t@example.com",
+             "commit", "-q", "-m", "seed"], cwd=tmp_path, check=True)
+        mod.write_text(mod.read_text()
+                       + "\n\ndef new(n):\n    return np.random.rand(n)\n")
+        monkeypatch.chdir(tmp_path)
+        rc = main(["lint", "mod.py", "--config", str(PYPROJECT),
+                   "--select", "RNG001", "--diff-base", "HEAD",
+                   "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        # Both defs violate RNG001, but only the line added since HEAD
+        # is reported in diff mode.
+        assert rc == 1
+        assert [(f["rule"], f["line"]) for f in payload["findings"]] == [
+            ("RNG001", 9)]
+
+    def test_diff_base_bad_ref_exits_2(self, capsys):
+        rc = main(["lint", str(FIXTURES / "clean.py"),
+                   "--config", str(PYPROJECT),
+                   "--diff-base", "no-such-ref-xyz"])
+        assert rc == 2
+
+
+class TestExplain:
+    def test_explain_prints_rule_doc(self, capsys):
+        rc = main(["lint", "--explain", "XMOD004"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "XMOD004" in out
+        assert "Rationale" in out
+
+    def test_explain_every_registered_rule(self, capsys):
+        for rule_id in sorted({**all_rules(), **all_passes()}):
+            assert main(["lint", "--explain", rule_id]) == 0
+            out = capsys.readouterr().out
+            assert rule_id in out
+
+    def test_explain_unknown_rule_exits_2(self, capsys):
+        rc = main(["lint", "--explain", "NOPE999"])
+        assert rc == 2
+        assert "unknown rule id" in capsys.readouterr().err
 
 
 class TestRunner:
