@@ -1,31 +1,58 @@
-"""Related-work comparison (§7): TT vs hashing vs low-rank vs TR vs quantization.
+"""Related-work comparison (§7): TT vs the rest of the compression zoo.
 
 The paper argues qualitatively against each alternative; this bench makes
 the comparison quantitative on one workload, matching parameter budgets:
 
 - accuracy at equal memory: hashing (collisions), low-rank (rank ceiling)
-  and TR (ring overhead) against TT;
+  and TR (ring overhead) against TT, plus the two trainable-quantization
+  arms — DPQ (product-quantization codebooks, straight-through gradient)
+  and ALPT (integer codes with learned per-row scales);
 - post-training quantization: accuracy of a trained dense model after
   4/8-bit table quantization (inference-time compression only).
+
+Every trainable arm is built through the compression-zoo factory
+(``repro.compress.make_embedding``), so per-arm ``memory_bytes`` come
+from one accounting contract; the results land in
+``BENCH_compression.json``.
 """
 
 import numpy as np
 from conftest import banner, scaled_iters
 
-from repro.baselines import (
-    HashedEmbeddingBag,
-    LowRankEmbeddingBag,
-    QuantizedEmbeddingBag,
-    TREmbeddingBag,
-)
-from repro.bench import format_table
+from repro.baselines import QuantizedEmbeddingBag
+from repro.bench import format_table, write_bench_json
+from repro.compress import EmbeddingSpec, make_embedding, predict_memory_bytes
 from repro.data import SyntheticCTRDataset
-from repro.models import DLRMConfig
 from repro.models.dlrm import DLRM
-from repro.ops import EmbeddingBag
 from repro.training import Trainer
-from repro.tt import TTEmbeddingBag
+from repro.utils.dtypes import default_dtype
 from trainlib import MIN_ROWS, small_config
+
+#: kind -> zoo spec params for one compressed table (dim is emb_dim)
+ARMS = ("dense", "tt", "tr", "lowrank", "hashing", "dpq", "alpt")
+
+
+def _arm_spec(kind, size, dim):
+    if kind == "dense":
+        return "dense", {}
+    if kind == "tt":
+        return "tt", {"rank": 8}
+    if kind == "tr":
+        return "tr", {"rank": 4}
+    if kind == "lowrank":
+        return "lowrank", {"rank": 2}
+    if kind == "hashing":
+        # bucket count chosen to land near the TT parameter budget
+        tt_bytes = predict_memory_bytes(
+            EmbeddingSpec(kind="tt", num_rows=size, dim=dim,
+                          params={"rank": 8}))
+        buckets = max(4, tt_bytes // default_dtype().itemsize // dim)
+        return "hash", {"num_buckets": int(buckets)}
+    if kind == "dpq":
+        return "dpq", {"num_subspaces": 4, "codebook_size": 64}
+    if kind == "alpt":
+        return "alpt", {"bits": 8}
+    raise ValueError(kind)
 
 
 def _build(spec, cfg, kind, rng_seed=0):
@@ -34,23 +61,16 @@ def _build(spec, cfg, kind, rng_seed=0):
     big = {i for i in spec.largest(5) if spec.table_sizes[i] >= MIN_ROWS}
     embeddings = []
     for i, size in enumerate(cfg.table_sizes):
-        if i not in big or kind == "dense":
-            embeddings.append(EmbeddingBag(size, cfg.emb_dim, rng=rng))
-        elif kind == "tt":
-            embeddings.append(TTEmbeddingBag(size, cfg.emb_dim, rank=8, rng=rng))
-        elif kind == "tr":
-            embeddings.append(TREmbeddingBag(size, cfg.emb_dim, rank=4, rng=rng))
-        elif kind == "lowrank":
-            embeddings.append(LowRankEmbeddingBag(size, cfg.emb_dim, rank=2, rng=rng))
-        elif kind == "hashing":
-            # bucket count chosen to land near the TT parameter budget
-            tt_params = TTEmbeddingBag(size, cfg.emb_dim, rank=8, rng=0).num_parameters()
-            buckets = max(4, tt_params // cfg.emb_dim)
-            embeddings.append(HashedEmbeddingBag(size, cfg.emb_dim,
-                                                 num_buckets=buckets, rng=rng))
-        else:
-            raise ValueError(kind)
+        arm = kind if i in big else "dense"
+        zoo_kind, params = _arm_spec(arm, size, cfg.emb_dim)
+        embeddings.append(make_embedding(EmbeddingSpec(
+            kind=zoo_kind, num_rows=size, dim=cfg.emb_dim,
+            seed=rng_seed + i, params=params)))
     return DLRM(cfg, embeddings, rng=rng)
+
+
+def _embedding_bytes(model) -> int:
+    return sum(e.memory_bytes() for e in model.embeddings)
 
 
 def test_training_compressors(benchmark, kaggle_small):
@@ -59,28 +79,41 @@ def test_training_compressors(benchmark, kaggle_small):
 
     def run():
         out = []
-        for kind in ("dense", "tt", "tr", "lowrank", "hashing"):
+        for kind in ARMS:
             ds = SyntheticCTRDataset(kaggle_small, seed=7, noise=0.7)
             model = _build(kaggle_small, cfg, kind)
             trainer = Trainer(model, lr=0.1)
             trainer.train(ds.batches(96, iters))
             ev = trainer.evaluate(ds.batches(512, 6))
             out.append([kind, model.embedding_parameters(),
+                        _embedding_bytes(model),
                         f"{ev.accuracy * 100:.2f}", f"{ev.auc:.4f}"])
         return out
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     banner("Related-work comparison: accuracy at matched embedding budgets")
-    print(format_table(["method", "emb params", "accuracy %", "auc"], rows))
+    print(format_table(
+        ["method", "emb params", "emb bytes", "accuracy %", "auc"], rows))
     print("\npaper (§7): hashing collisions cost accuracy at scale; low-rank "
           "cannot reach TT's compression; TR pays ring overhead for similar "
-          "quality")
+          "quality; DPQ/ALPT trade accuracy headroom for table-size-"
+          "independent ratios")
     by_kind = {r[0]: r for r in rows}
+    path = write_bench_json("compression", {
+        "iters": iters,
+        "arms": [{"kind": r[0], "emb_params": int(r[1]),
+                  "emb_bytes": int(r[2]), "accuracy": float(r[3]),
+                  "auc": float(r[4])} for r in rows],
+    })
+    print(f"\nwrote {path}")
     # Compressors all trained; TT should land within noise of dense.
-    assert float(by_kind["tt"][3]) > float(by_kind["dense"][3]) - 0.05
+    assert float(by_kind["tt"][4]) > float(by_kind["dense"][4]) - 0.05
     # Low-rank's compression ceiling: at these settings it stores more than
     # TT by construction.
     assert int(by_kind["lowrank"][1]) > int(by_kind["tt"][1])
+    # Every compressed arm stores fewer embedding bytes than dense.
+    for kind in ARMS[1:]:
+        assert int(by_kind[kind][2]) < int(by_kind["dense"][2]), kind
 
 
 def test_posttraining_quantization(benchmark, kaggle_small):

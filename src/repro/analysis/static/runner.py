@@ -49,7 +49,8 @@ SCHEMA = "repro.lint/v1"
 BASELINE_SCHEMA = "repro.lint.baseline/v1"
 
 _DEFAULT_CONFIG = {
-    "hot_path": ["repro/tt", "repro/ops", "repro/cache"],
+    "hot_path": ["repro/tt", "repro/ops", "repro/cache", "repro/baselines",
+                 "repro/compress"],
     "rng_allowed": ["repro/utils/seeding.py"],
     "clock_exempt": ["repro/bench"],
     "mutation_scope": ["repro/tt/kernels.py", "repro/cache"],

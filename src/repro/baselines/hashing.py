@@ -13,8 +13,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cache.hashtable import splitmix64
-from repro.ops.embedding import EmbeddingBag, segment_sum
-from repro.ops.module import Module, Parameter
+from repro.ops.embedding import EmbeddingBag
+from repro.ops.module import Module
+from repro.utils.dtypes import result_dtype
 from repro.utils.seeding import as_rng
 from repro.utils.validation import check_csr
 
@@ -55,16 +56,21 @@ class HashedEmbeddingBag(Module):
         self.table = EmbeddingBag(num_buckets, dim, mode=mode, rng=as_rng(rng),
                                   name=f"{name}.table")
         self.mode = mode
-        self._cache: tuple | None = None
 
     # ------------------------------------------------------------------ #
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Floating dtype of the physical table (follows the policy)."""
+        return self.table.weight.data.dtype
 
     def _hash(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray | None]:
         mixed = splitmix64(indices + np.int64(self.salt * 0x9E3779B9))
         buckets = (mixed % np.uint64(self.num_buckets)).astype(np.int64)
         signs = None
         if self.signed:
-            signs = np.where((mixed >> np.uint64(63)) & np.uint64(1), -1.0, 1.0)
+            signs = np.where((mixed >> np.uint64(63)) & np.uint64(1), -1.0, 1.0
+                             ).astype(self.dtype)
         return buckets, signs
 
     def forward(self, indices: np.ndarray, offsets: np.ndarray | None = None,
@@ -76,14 +82,16 @@ class HashedEmbeddingBag(Module):
         buckets, signs = self._hash(indices)
         weights = per_sample_weights
         if signs is not None:
-            w = np.ones(indices.size) if weights is None else np.asarray(
-                weights, dtype=np.float64).reshape(-1)
+            dt = result_dtype(self.table.weight.data)
+            w = (np.ones(indices.size, dtype=dt) if weights is None
+                 else np.asarray(weights, dtype=dt).reshape(-1))
             weights = w * signs
         return self.table.forward(buckets, offsets, weights)
 
     __call__ = forward
 
     def backward(self, grad_out: np.ndarray) -> None:
+        """Delegate to the physical table (it owns the re-entrancy guard)."""
         self.table.backward(grad_out)
 
     def lookup(self, indices: np.ndarray) -> np.ndarray:

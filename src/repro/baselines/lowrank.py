@@ -13,6 +13,8 @@ import numpy as np
 
 from repro.ops.embedding import segment_sum
 from repro.ops.module import Module, Parameter
+from repro.tt.kernels import scatter_add_rows
+from repro.utils.dtypes import result_dtype
 from repro.utils.seeding import as_rng
 from repro.utils.validation import check_csr
 
@@ -49,6 +51,12 @@ class LowRankEmbeddingBag(Module):
             rng.normal(0.0, entry_std, size=(rank, dim)), name=f"{name}.B"
         )
         self._cache: dict | None = None
+        self._did_backward = False
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Floating dtype of the factors (follows the policy at build time)."""
+        return self.factor_a.data.dtype
 
     def forward(self, indices: np.ndarray, offsets: np.ndarray | None = None,
                 per_sample_weights: np.ndarray | None = None) -> np.ndarray:
@@ -58,7 +66,8 @@ class LowRankEmbeddingBag(Module):
         indices, offsets = check_csr(indices, offsets, self.num_rows)
         alpha = None
         if per_sample_weights is not None:
-            alpha = np.asarray(per_sample_weights, dtype=np.float64).reshape(-1)
+            alpha = np.asarray(per_sample_weights,
+                               dtype=result_dtype(self.factor_a.data)).reshape(-1)
             if alpha.shape[0] != indices.shape[0]:
                 raise ValueError("per_sample_weights must match indices in length")
         a_rows = self.factor_a.data[indices]  # (n, r)
@@ -67,36 +76,51 @@ class LowRankEmbeddingBag(Module):
         pooled_a = segment_sum(weighted, offsets)  # (m, r)
         counts = np.diff(offsets)
         if self.mode == "mean":
-            scale = np.where(counts > 0, counts, 1).astype(np.float64)
+            scale = np.asarray(np.where(counts > 0, counts, 1),
+                               dtype=pooled_a.dtype)
             pooled_a = pooled_a / scale[:, None]
         out = pooled_a @ self.factor_b.data
         self._cache = {
             "indices": indices, "offsets": offsets, "alpha": alpha,
             "counts": counts, "pooled_a": pooled_a,
         }
+        self._did_backward = False
         return out
 
     __call__ = forward
 
     def backward(self, grad_out: np.ndarray) -> None:
+        """Accumulate factor gradients; consumes the forward cache.
+
+        A second ``backward`` for the same forward raises instead of
+        silently double-accumulating (shared zoo contract).
+        """
         if self._cache is None:
+            if self._did_backward:
+                raise RuntimeError(
+                    "backward called twice for one forward; factor gradients "
+                    "would double-accumulate — run forward again first"
+                )
             raise RuntimeError("backward called before forward")
         c = self._cache
-        grad_out = np.asarray(grad_out, dtype=np.float64)
+        grad_out = np.asarray(grad_out, dtype=self.dtype)
         # dB = pooled_a^T dO
         self.factor_b.grad += c["pooled_a"].T @ grad_out
         # d pooled_a = dO B^T, then un-pool to per-index gradients.
         grad_pooled = grad_out @ self.factor_b.data.T  # (m, r)
         counts = c["counts"]
         if self.mode == "mean":
-            scale = np.where(counts > 0, counts, 1).astype(np.float64)
+            scale = np.asarray(np.where(counts > 0, counts, 1),
+                               dtype=grad_pooled.dtype)
             grad_pooled = grad_pooled / scale[:, None]
         bag_ids = np.repeat(np.arange(len(counts)), counts)
         grad_rows = grad_pooled[bag_ids]
         if c["alpha"] is not None:
             grad_rows = grad_rows * c["alpha"][:, None]
-        np.add.at(self.factor_a.grad, c["indices"], grad_rows)
+        scatter_add_rows(self.factor_a.grad, c["indices"], grad_rows)
         self.factor_a.record_touched(c["indices"])
+        self._cache = None
+        self._did_backward = True
 
     def lookup(self, indices: np.ndarray) -> np.ndarray:
         indices = np.asarray(indices, dtype=np.int64)

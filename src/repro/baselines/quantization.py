@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.ops.embedding import segment_sum
 from repro.ops.module import Module
+from repro.utils.dtypes import result_dtype
 from repro.utils.validation import check_csr
 
 __all__ = ["quantize_rows", "dequantize_rows", "QuantizedEmbeddingBag"]
@@ -29,7 +30,10 @@ def quantize_rows(table: np.ndarray, bits: int = 4
     """
     if not (1 <= bits <= 16):
         raise ValueError(f"bits must be in [1, 16], got {bits}")
-    table = np.asarray(table, dtype=np.float64)
+    table = np.asarray(table)
+    # Preserve the table's floating dtype; fall back to the policy dtype
+    # for integer input (repro.utils.dtypes).
+    table = np.asarray(table, dtype=result_dtype(table))
     if table.ndim != 2:
         raise ValueError(f"table must be 2-D, got shape {table.shape}")
     levels = (1 << bits) - 1
@@ -46,7 +50,8 @@ def quantize_rows(table: np.ndarray, bits: int = 4
 def dequantize_rows(codes: np.ndarray, scales: np.ndarray,
                     zero_points: np.ndarray) -> np.ndarray:
     """Inverse of :func:`quantize_rows` (up to quantization error)."""
-    return codes.astype(np.float64) * scales[:, None] + zero_points[:, None]
+    dt = result_dtype(scales, zero_points)
+    return codes.astype(dt) * scales[:, None] + zero_points[:, None]
 
 
 class QuantizedEmbeddingBag(Module):
@@ -64,9 +69,10 @@ class QuantizedEmbeddingBag(Module):
             raise ValueError(f"codes must be 2-D, got {codes.shape}")
         if scales.shape != (codes.shape[0],) or zero_points.shape != (codes.shape[0],):
             raise ValueError("scales/zero_points must be per-row vectors")
+        dt = result_dtype(np.asarray(scales), np.asarray(zero_points))
         self.codes = codes
-        self.scales = np.asarray(scales, dtype=np.float64)
-        self.zero_points = np.asarray(zero_points, dtype=np.float64)
+        self.scales = np.asarray(scales, dtype=dt)
+        self.zero_points = np.asarray(zero_points, dtype=dt)
         self.bits = bits
         self.mode = mode
         self.num_rows, self.dim = codes.shape
@@ -91,14 +97,14 @@ class QuantizedEmbeddingBag(Module):
         indices, offsets = check_csr(indices, offsets, self.num_rows)
         rows = self.lookup(indices)
         if per_sample_weights is not None:
-            alpha = np.asarray(per_sample_weights, dtype=np.float64).reshape(-1)
+            alpha = np.asarray(per_sample_weights, dtype=rows.dtype).reshape(-1)
             if alpha.shape[0] != indices.shape[0]:
                 raise ValueError("per_sample_weights must match indices in length")
             rows = rows * alpha[:, None]
         out = segment_sum(rows, offsets)
         if self.mode == "mean":
             counts = np.diff(offsets)
-            scale = np.where(counts > 0, counts, 1).astype(np.float64)
+            scale = np.asarray(np.where(counts > 0, counts, 1), dtype=out.dtype)
             out = out / scale[:, None]
         return out
 
@@ -125,6 +131,6 @@ class QuantizedEmbeddingBag(Module):
 
     def reconstruction_error(self, table: np.ndarray) -> float:
         """Max |dequantized - original| against the source dense table."""
-        table = np.asarray(table, dtype=np.float64)
+        table = np.asarray(table, dtype=self.scales.dtype)
         approx = dequantize_rows(self.codes, self.scales, self.zero_points)
         return float(np.abs(approx - table).max())

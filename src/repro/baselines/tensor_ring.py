@@ -26,6 +26,7 @@ import numpy as np
 from repro.ops.embedding import segment_sum
 from repro.ops.module import Module, Parameter
 from repro.tt.kernels import scatter_add_rows
+from repro.utils.dtypes import result_dtype
 from repro.utils.factorization import factorize_into, suggested_tt_shapes
 from repro.utils.seeding import as_rng
 from repro.utils.validation import check_csr
@@ -144,8 +145,14 @@ class TREmbeddingBag(Module):
             for k in range(shape.d)
         ]
         self._cache: dict | None = None
+        self._did_backward = False
 
     # ------------------------------------------------------------------ #
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Floating dtype of the cores (follows the policy at build time)."""
+        return self.cores[0].data.dtype
 
     def _row_chain(self, decoded: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
         """Ring chain; returns ``(rows, lefts)``.
@@ -174,7 +181,7 @@ class TREmbeddingBag(Module):
     def lookup(self, indices: np.ndarray) -> np.ndarray:
         indices = np.asarray(indices, dtype=np.int64)
         if indices.size == 0:
-            return np.zeros((0, self.dim))
+            return np.zeros((0, self.dim), dtype=self.dtype)
         rows, _ = self._row_chain(self.shape.decode_indices(indices))
         return rows
 
@@ -190,7 +197,8 @@ class TREmbeddingBag(Module):
         indices, offsets = check_csr(indices, offsets, self.num_rows)
         alpha = None
         if per_sample_weights is not None:
-            alpha = np.asarray(per_sample_weights, dtype=np.float64).reshape(-1)
+            alpha = np.asarray(per_sample_weights,
+                               dtype=result_dtype(self.cores[0].data)).reshape(-1)
             if alpha.shape[0] != indices.shape[0]:
                 raise ValueError("per_sample_weights must match indices in length")
         if indices.size == 0:
@@ -198,35 +206,50 @@ class TREmbeddingBag(Module):
                 "decoded": np.empty((self.shape.d, 0), dtype=np.int64),
                 "lefts": [], "alpha": alpha, "counts": np.diff(offsets),
             }
-            return np.zeros((offsets.size - 1, self.dim))
+            self._did_backward = False
+            return np.zeros((offsets.size - 1, self.dim), dtype=self.dtype)
         decoded = self.shape.decode_indices(indices)
         rows, lefts = self._row_chain(decoded)
         weighted = rows if alpha is None else rows * alpha[:, None]
         out = segment_sum(weighted, offsets)
         counts = np.diff(offsets)
         if self.mode == "mean":
-            scale = np.where(counts > 0, counts, 1).astype(np.float64)
+            scale = np.asarray(np.where(counts > 0, counts, 1), dtype=out.dtype)
             out = out / scale[:, None]
         self._cache = {"decoded": decoded, "lefts": lefts, "alpha": alpha,
                        "counts": counts}
+        self._did_backward = False
         return out
 
     __call__ = forward
 
     def backward(self, grad_out: np.ndarray) -> None:
+        """Accumulate core gradients; consumes the forward cache.
+
+        A second ``backward`` for the same forward raises instead of
+        silently double-accumulating (shared zoo contract).
+        """
         if self._cache is None:
+            if self._did_backward:
+                raise RuntimeError(
+                    "backward called twice for one forward; core gradients "
+                    "would double-accumulate — run forward again first"
+                )
             raise RuntimeError("backward called before forward")
         c = self._cache
-        grad_out = np.asarray(grad_out, dtype=np.float64)
+        grad_out = np.asarray(grad_out, dtype=self.dtype)
         counts = c["counts"]
         if self.mode == "mean":
-            scale = np.where(counts > 0, counts, 1).astype(np.float64)
+            scale = np.asarray(np.where(counts > 0, counts, 1),
+                               dtype=grad_out.dtype)
             grad_out = grad_out / scale[:, None]
         bag_ids = np.repeat(np.arange(len(counts)), counts)
         grad_rows = grad_out[bag_ids]
         if c["alpha"] is not None:
             grad_rows = grad_rows * c["alpha"][:, None]
         self._accumulate_core_grads(c["decoded"], grad_rows, c["lefts"])
+        self._cache = None
+        self._did_backward = True
 
     def _accumulate_core_grads(self, decoded: np.ndarray, grad_rows: np.ndarray,
                                lefts: list[np.ndarray]) -> None:
@@ -235,7 +258,8 @@ class TREmbeddingBag(Module):
             return
         d = self.shape.d
         r0 = self.shape.ring_rank
-        eye = np.broadcast_to(np.eye(r0)[None, :, None, :], (n, r0, 1, r0))
+        eye = np.broadcast_to(np.eye(r0, dtype=self.dtype)[None, :, None, :],
+                              (n, r0, 1, r0))
         # right[k] has shape (B, R_{k+1}, Q_k, R0): product of cores k+1..d-1
         # with the ring closed on the right.
         right = eye  # k = d-1: identity, Q = 1

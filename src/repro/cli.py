@@ -5,6 +5,9 @@ Subcommands (also available via ``python -m repro <cmd>``):
 - ``table2``   — paper Table 2 (exact TT decompositions of Kaggle tables);
 - ``sizes``    — Fig. 5 / §6 whole-model compression for both datasets;
 - ``plan``     — auto-tune TT ranks for a memory budget (MB);
+- ``plan-budget`` — pick a compressor per table from the full zoo under
+  one global byte budget, emitting ``repro.budget_plan/v1`` JSON
+  (docs/COMPRESSION.md); ``serve-bench --budget-plan`` serves the result;
 - ``locality`` — Fig. 9-style hot-set stability for a synthetic stream;
 - ``train``    — small demo training run (baseline vs TT-Rec), with
   optional periodic checkpointing and ``--resume``;
@@ -166,6 +169,63 @@ def _cmd_plan(args) -> int:
     print(f"\ntotal: {plan.total_params():,} params "
           f"({plan.total_params() * 4 / 1e6:.1f} MB), "
           f"compression {plan.compression_ratio():.1f}x")
+    return 0
+
+
+def _cmd_plan_budget(args) -> int:
+    """Pick a compressor per table under a global byte budget."""
+    import json
+
+    from repro.bench.reporting import format_table
+    from repro.compress import BudgetPlanner, TableStats
+
+    if args.tables_file:
+        with open(args.tables_file, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        docs = doc["tables"] if isinstance(doc, dict) else doc
+        tables = [TableStats.from_doc(d) for d in docs]
+        source = args.tables_file
+    else:
+        from repro.data import KAGGLE, TERABYTE
+
+        spec = {"kaggle": KAGGLE, "terabyte": TERABYTE}[args.dataset]
+        if args.scale is not None:
+            spec = spec.scaled(args.scale)
+        tables = [TableStats(num_rows=size, dim=spec.emb_dim, zipf_s=args.zipf,
+                             name=f"emb{i}")
+                  for i, size in enumerate(spec.table_sizes)]
+        source = args.dataset
+
+    planner = BudgetPlanner(
+        tables, mode=args.mode, seed=args.seed,
+        include_inference_only=args.include_inference_only,
+        min_compress_rows=args.min_compress_rows,
+    )
+    budget_bytes = int(args.budget_mb * 1e6)
+    try:
+        plan = planner.plan(budget_bytes)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 1
+
+    shown = sorted(plan.tables, key=lambda t: -t.predicted_bytes)[:args.top]
+    rows = [
+        [t.index, t.spec.name or "-", f"{t.spec.num_rows:,}", t.spec.label(),
+         f"{t.predicted_bytes:,}", f"{t.quality:.3f}", f"{t.weight:.3f}"]
+        for t in shown
+    ]
+    print(format_table(
+        ["table", "name", "rows", "compressor", "bytes", "quality", "weight"],
+        rows,
+        title=(f"Budget plan for {source} under {args.budget_mb:g} MB "
+               f"({len(plan.tables)} tables)"),
+    ))
+    print(f"\ntotal: {plan.total_bytes():,} B of {plan.budget_bytes:,} B "
+          f"budget ({plan.total_bytes() / plan.budget_bytes:.0%} used), "
+          f"compression {plan.compression_ratio():.1f}x vs dense")
+    if args.emit_json:
+        plan.to_json(args.emit_json)
+        print(f"wrote repro.budget_plan/v1 plan to {args.emit_json}")
     return 0
 
 
@@ -623,13 +683,22 @@ def _cmd_serve_bench(args) -> int:
     from repro.reliability import FaultInjector
     from repro.serving import InferenceServer, ManualClock, ServerConfig, run_load
 
-    spec = KAGGLE.scaled(args.scale)
-    cfg = DLRMConfig(table_sizes=spec.table_sizes, emb_dim=8,
-                     bottom_mlp=(16,), top_mlp=(16,))
-    tt = TTConfig(rank=args.rank, use_cache=True, warmup_steps=0,
-                  refresh_interval=None, cache_fraction=0.05)
-    model = build_ttrec(cfg, num_tt_tables=7, tt=tt, min_rows=60,
-                        rng=args.seed)
+    if args.budget_plan:
+        from repro.compress import load_budget_plan
+        from repro.models.ttrec import build_from_plan
+
+        plan = load_budget_plan(args.budget_plan)
+        model = build_from_plan(plan, rng=args.seed)
+        print(f"serving a budget plan: {args.budget_plan} "
+              f"({plan.total_bytes():,} B, kinds {sorted(set(plan.kinds()))})")
+    else:
+        spec = KAGGLE.scaled(args.scale)
+        cfg = DLRMConfig(table_sizes=spec.table_sizes, emb_dim=8,
+                         bottom_mlp=(16,), top_mlp=(16,))
+        tt = TTConfig(rank=args.rank, use_cache=True, warmup_steps=0,
+                      refresh_interval=None, cache_fraction=0.05)
+        model = build_ttrec(cfg, num_tt_tables=7, tt=tt, min_rows=60,
+                            rng=args.seed)
 
     injector = None
     if args.fault_rate > 0 or args.shard_fault_rate > 0:
@@ -1057,6 +1126,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0, help="[--kernel] workload seed")
     p.set_defaults(fn=_cmd_plan)
 
+    p = sub.add_parser(
+        "plan-budget",
+        help="pick a compressor per table (full zoo) under one global "
+             "byte budget (docs/COMPRESSION.md)",
+    )
+    p.add_argument("--budget-mb", type=float, required=True,
+                   help="global embedding byte budget, in MB")
+    p.add_argument("--tables-file", default=None, metavar="PATH",
+                   help="JSON table stats: {\"tables\": [{num_rows, dim, "
+                        "zipf_s, traffic, name}, ...]} (overrides --dataset)")
+    p.add_argument("--dataset", choices=["kaggle", "terabyte"],
+                   default="kaggle")
+    p.add_argument("--scale", type=float, default=None,
+                   help="scale the dataset spec's table sizes first")
+    p.add_argument("--zipf", type=float, default=1.05,
+                   help="access skew assumed for --dataset tables")
+    p.add_argument("--mode", choices=["sum", "mean"], default="sum")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--min-compress-rows", type=int, default=0,
+                   help="tables below this stay dense")
+    p.add_argument("--include-inference-only", action="store_true",
+                   help="let the planner pick inference-only compressors "
+                        "(post-training quantization)")
+    p.add_argument("--top", type=int, default=10, help="tables to display")
+    p.add_argument("--emit-json", default=None, metavar="PATH",
+                   help="write the repro.budget_plan/v1 JSON here")
+    p.set_defaults(fn=_cmd_plan_budget)
+
     p = sub.add_parser("locality", help="hot-set stability trace (Fig. 9 style)")
     p.add_argument("--rows", type=int, default=100_000)
     p.add_argument("--zipf", type=float, default=1.05)
@@ -1151,6 +1248,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--requests", type=int, default=1000)
     p.add_argument("--rank", type=int, default=4)
     p.add_argument("--scale", type=float, default=0.0005)
+    p.add_argument("--budget-plan", default=None, metavar="PATH",
+                   help="serve the embedding stack from a "
+                        "repro.budget_plan/v1 JSON (plan-budget --emit-json) "
+                        "instead of the default TT model")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--policy", choices=["clamp", "hash", "reject"],
                    default="clamp", help="out-of-vocabulary id policy")

@@ -1,0 +1,80 @@
+"""Compression zoo: one interface over every embedding compressor.
+
+Importing this package registers all built-in compressors, so
+``make_embedding(spec)`` can build any of them:
+
+=============  ==========================================================
+kind           operator
+=============  ==========================================================
+``dense``      :class:`~repro.ops.embedding.EmbeddingBag`
+``tt``         :class:`~repro.tt.embedding_bag.TTEmbeddingBag`
+``cached_tt``  :class:`~repro.cache.cached_embedding.CachedTTEmbeddingBag`
+``tr``         :class:`~repro.baselines.tensor_ring.TREmbeddingBag`
+``hash``       :class:`~repro.baselines.hashing.HashedEmbeddingBag`
+``lowrank``    :class:`~repro.baselines.lowrank.LowRankEmbeddingBag`
+``quant``      :class:`~repro.baselines.quantization.QuantizedEmbeddingBag`
+``dpq``        :class:`~repro.compress.dpq.DPQEmbeddingBag`
+``alpt``       :class:`~repro.compress.alpt.ALPTEmbeddingBag`
+=============  ==========================================================
+
+See ``docs/COMPRESSION.md`` for the full zoo table and
+:class:`~repro.compress.planner.BudgetPlanner` for picking a compressor
+per table under a global byte budget.
+"""
+
+from repro.compress.base import (
+    CompressedEmbedding,
+    EmbeddingSpec,
+    as_spec,
+    compressor_class,
+    make_embedding,
+    predict_memory_bytes,
+    register_compressor,
+    registered_kinds,
+)
+from repro.compress import adapters as _adapters  # noqa: F401  (registers kinds)
+from repro.compress.adapters import (
+    CachedTTEmbedding,
+    DenseEmbedding,
+    HashedEmbedding,
+    LowRankEmbedding,
+    QuantizedEmbedding,
+    TREmbedding,
+    TTEmbedding,
+)
+from repro.compress.alpt import ALPTEmbeddingBag
+from repro.compress.dpq import DPQEmbeddingBag
+from repro.compress.planner import (
+    BUDGET_PLAN_SCHEMA,
+    BudgetPlan,
+    BudgetPlanner,
+    PlannedTable,
+    TableStats,
+    load_budget_plan,
+)
+
+__all__ = [
+    "CompressedEmbedding",
+    "EmbeddingSpec",
+    "as_spec",
+    "compressor_class",
+    "make_embedding",
+    "predict_memory_bytes",
+    "register_compressor",
+    "registered_kinds",
+    "DenseEmbedding",
+    "TTEmbedding",
+    "CachedTTEmbedding",
+    "TREmbedding",
+    "HashedEmbedding",
+    "LowRankEmbedding",
+    "QuantizedEmbedding",
+    "DPQEmbeddingBag",
+    "ALPTEmbeddingBag",
+    "BUDGET_PLAN_SCHEMA",
+    "BudgetPlan",
+    "BudgetPlanner",
+    "PlannedTable",
+    "TableStats",
+    "load_budget_plan",
+]

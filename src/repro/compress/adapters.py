@@ -1,0 +1,321 @@
+"""Adapters registering the existing embedding operators behind the zoo.
+
+Each adapter wraps one pre-existing module — dense
+:class:`~repro.ops.embedding.EmbeddingBag`,
+:class:`~repro.tt.embedding_bag.TTEmbeddingBag`,
+:class:`~repro.cache.cached_embedding.CachedTTEmbeddingBag`,
+:class:`~repro.baselines.tensor_ring.TREmbeddingBag`,
+:class:`~repro.baselines.hashing.HashedEmbeddingBag`,
+:class:`~repro.baselines.lowrank.LowRankEmbeddingBag` and
+:class:`~repro.baselines.quantization.QuantizedEmbeddingBag` — behind the
+:class:`~repro.compress.base.CompressedEmbedding` contract, adding the
+uniform double-backward guard and byte-level memory accounting on top.
+
+Unknown attributes delegate to the wrapped module, so telemetry hooks
+(``stats()``, ``metrics_label``), ``materialize()`` and the rest of each
+operator's native surface stay reachable through the adapter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compress.base import (
+    CompressedEmbedding,
+    EmbeddingSpec,
+    _check_known_params,
+    register_compressor,
+)
+from repro.utils.dtypes import default_dtype
+from repro.utils.seeding import as_rng
+
+__all__ = [
+    "DenseEmbedding",
+    "TTEmbedding",
+    "CachedTTEmbedding",
+    "TREmbedding",
+    "HashedEmbedding",
+    "LowRankEmbedding",
+    "QuantizedEmbedding",
+]
+
+
+class _WrappedEmbedding(CompressedEmbedding):
+    """Shared plumbing: delegate compute + attribute access to ``inner``."""
+
+    def __init__(self, spec: EmbeddingSpec, inner):
+        super().__init__(spec)
+        self.inner = inner
+
+    def _forward_impl(self, indices, offsets, per_sample_weights):
+        return self.inner.forward(indices, offsets, per_sample_weights)
+
+    def _backward_impl(self, grad_out):
+        self.inner.backward(grad_out)
+
+    def lookup(self, indices: np.ndarray) -> np.ndarray:
+        return self.inner.lookup(indices)
+
+    def num_parameters(self) -> int:
+        # Preserve each operator's own accounting (e.g. the fractional
+        # fp32-equivalent count of the quantized bag).
+        return self.inner.num_parameters()
+
+    def __getattr__(self, name: str):
+        # Only called when normal lookup fails; surface the wrapped
+        # operator's native API (stats, materialize, metrics_label, ...).
+        if name.startswith("_") or name == "inner":
+            raise AttributeError(name)
+        inner = self.__dict__.get("inner")
+        if inner is None:
+            raise AttributeError(name)
+        return getattr(inner, name)
+
+
+@register_compressor
+class DenseEmbedding(_WrappedEmbedding):
+    """Uncompressed table — the zoo's reference point (ratio 1.0)."""
+
+    kind = "dense"
+
+    def __init__(self, spec: EmbeddingSpec):
+        from repro.ops.embedding import EmbeddingBag
+
+        _check_known_params(spec, set())
+        super().__init__(spec, EmbeddingBag(
+            spec.num_rows, spec.dim, mode=spec.mode, rng=as_rng(spec.seed),
+            name=spec.name or "dense_emb",
+        ))
+
+    @classmethod
+    def predict_memory_bytes(cls, spec: EmbeddingSpec) -> int:
+        return spec.num_rows * spec.dim * default_dtype().itemsize
+
+
+@register_compressor
+class TTEmbedding(_WrappedEmbedding):
+    """Tensor-Train table (the paper's operator). Knobs: ``rank``, ``d``."""
+
+    kind = "tt"
+
+    def __init__(self, spec: EmbeddingSpec):
+        from repro.tt.embedding_bag import TTEmbeddingBag
+
+        _check_known_params(spec, {"rank", "d", "initializer", "dedup",
+                                   "plan_policy"})
+        super().__init__(spec, TTEmbeddingBag(
+            spec.num_rows, spec.dim, rank=int(spec.get("rank", 8)),
+            d=int(spec.get("d", 3)),
+            initializer=spec.get("initializer", "sampled_gaussian"),
+            dedup=bool(spec.get("dedup", False)),
+            plan_policy=spec.get("plan_policy", "auto"),
+            mode=spec.mode, rng=as_rng(spec.seed),
+            name=spec.name or "tt_emb",
+        ))
+
+    @classmethod
+    def predict_memory_bytes(cls, spec: EmbeddingSpec) -> int:
+        from repro.tt.shapes import TTShape
+
+        shape = TTShape.suggested(spec.num_rows, spec.dim,
+                                  d=int(spec.get("d", 3)),
+                                  rank=int(spec.get("rank", 8)))
+        return shape.num_params() * default_dtype().itemsize
+
+
+@register_compressor
+class CachedTTEmbedding(_WrappedEmbedding):
+    """TT table with the LFU hot-row cache. Knobs: ``rank``, ``d``,
+    ``cache_size`` (explicit, so planner predictions stay exact)."""
+
+    kind = "cached_tt"
+
+    def __init__(self, spec: EmbeddingSpec):
+        from repro.cache.cached_embedding import CachedTTEmbeddingBag
+
+        _check_known_params(spec, {"rank", "d", "initializer", "cache_size",
+                                   "warmup_steps", "refresh_interval",
+                                   "policy", "eviction", "dedup",
+                                   "plan_policy"})
+        super().__init__(spec, CachedTTEmbeddingBag(
+            spec.num_rows, spec.dim, rank=int(spec.get("rank", 8)),
+            d=int(spec.get("d", 3)),
+            initializer=spec.get("initializer", "sampled_gaussian"),
+            cache_size=self._cache_size(spec),
+            warmup_steps=int(spec.get("warmup_steps", 100)),
+            refresh_interval=spec.get("refresh_interval", 1000),
+            policy=spec.get("policy", "lfu"),
+            eviction=spec.get("eviction", "discard"),
+            dedup=bool(spec.get("dedup", True)),
+            plan_policy=spec.get("plan_policy", "auto"),
+            mode=spec.mode, rng=as_rng(spec.seed),
+            name=spec.name or "cached_tt_emb",
+        ))
+
+    @staticmethod
+    def _cache_size(spec: EmbeddingSpec) -> int:
+        # The paper's 0.01% default, resolved here (not inside the bag)
+        # so predict_memory_bytes sees the same number the instance gets.
+        size = spec.get("cache_size")
+        if size is None:
+            size = max(1, int(round(spec.num_rows * 1e-4)))
+        return min(int(size), spec.num_rows)
+
+    def _extra_state(self) -> dict[str, np.ndarray]:
+        return {key: np.asarray(value)
+                for key, value in self.inner.extra_state().items()}
+
+    def _load_extra_state(self, state: dict[str, np.ndarray]) -> None:
+        self.inner.load_extra_state(state)
+
+    @classmethod
+    def predict_memory_bytes(cls, spec: EmbeddingSpec) -> int:
+        from repro.tt.shapes import TTShape
+
+        shape = TTShape.suggested(spec.num_rows, spec.dim,
+                                  d=int(spec.get("d", 3)),
+                                  rank=int(spec.get("rank", 8)))
+        cache = cls._cache_size(spec) * spec.dim
+        return (shape.num_params() + cache) * default_dtype().itemsize
+
+
+@register_compressor
+class TREmbedding(_WrappedEmbedding):
+    """Tensor-Ring table. Knobs: ``rank``, ``d``."""
+
+    kind = "tr"
+
+    def __init__(self, spec: EmbeddingSpec):
+        from repro.baselines.tensor_ring import TREmbeddingBag
+
+        _check_known_params(spec, {"rank", "d"})
+        super().__init__(spec, TREmbeddingBag(
+            spec.num_rows, spec.dim, rank=int(spec.get("rank", 4)),
+            d=int(spec.get("d", 3)), mode=spec.mode, rng=as_rng(spec.seed),
+            name=spec.name or "tr_emb",
+        ))
+
+    @classmethod
+    def predict_memory_bytes(cls, spec: EmbeddingSpec) -> int:
+        from repro.baselines.tensor_ring import TRShape
+
+        shape = TRShape.suggested(spec.num_rows, spec.dim,
+                                  d=int(spec.get("d", 3)),
+                                  rank=int(spec.get("rank", 4)))
+        return shape.num_params() * default_dtype().itemsize
+
+
+@register_compressor
+class HashedEmbedding(_WrappedEmbedding):
+    """Feature-hashing table. Knobs: ``num_buckets``, ``signed``, ``salt``."""
+
+    kind = "hash"
+
+    def __init__(self, spec: EmbeddingSpec):
+        from repro.baselines.hashing import HashedEmbeddingBag
+
+        _check_known_params(spec, {"num_buckets", "signed", "salt"})
+        buckets = int(spec.get("num_buckets", max(1, spec.num_rows // 16)))
+        super().__init__(spec, HashedEmbeddingBag(
+            spec.num_rows, spec.dim, num_buckets=buckets,
+            signed=bool(spec.get("signed", False)),
+            salt=int(spec.get("salt", 0)), mode=spec.mode,
+            rng=as_rng(spec.seed), name=spec.name or "hashed_emb",
+        ))
+
+    @classmethod
+    def predict_memory_bytes(cls, spec: EmbeddingSpec) -> int:
+        buckets = int(spec.get("num_buckets", max(1, spec.num_rows // 16)))
+        return buckets * spec.dim * default_dtype().itemsize
+
+
+@register_compressor
+class LowRankEmbedding(_WrappedEmbedding):
+    """Two-factor low-rank table. Knob: ``rank``."""
+
+    kind = "lowrank"
+
+    def __init__(self, spec: EmbeddingSpec):
+        from repro.baselines.lowrank import LowRankEmbeddingBag
+
+        _check_known_params(spec, {"rank"})
+        super().__init__(spec, LowRankEmbeddingBag(
+            spec.num_rows, spec.dim, rank=int(spec.get("rank", 2)),
+            mode=spec.mode, rng=as_rng(spec.seed),
+            name=spec.name or "lowrank_emb",
+        ))
+
+    @classmethod
+    def predict_memory_bytes(cls, spec: EmbeddingSpec) -> int:
+        rank = int(spec.get("rank", 2))
+        params = spec.num_rows * rank + rank * spec.dim
+        return params * default_dtype().itemsize
+
+
+@register_compressor
+class QuantizedEmbedding(_WrappedEmbedding):
+    """Post-training row-wise quantization — inference-only.
+
+    Knobs: ``bits``; pass the trained dense table via
+    :meth:`from_table` (the factory path initializes a fresh dense table
+    and quantizes it, which is only meaningful for memory/latency
+    benchmarking, never for accuracy).
+    """
+
+    kind = "quant"
+    supports_gradient = False
+
+    def __init__(self, spec: EmbeddingSpec, table: np.ndarray | None = None):
+        from repro.baselines.quantization import QuantizedEmbeddingBag
+        from repro.ops.embedding import EmbeddingBag
+
+        _check_known_params(spec, {"bits"})
+        if table is None:
+            table = EmbeddingBag(spec.num_rows, spec.dim,
+                                 rng=as_rng(spec.seed)).weight.data
+        table = np.asarray(table)
+        if table.shape != (spec.num_rows, spec.dim):
+            raise ValueError(
+                f"table shape {table.shape} != ({spec.num_rows}, {spec.dim})"
+            )
+        super().__init__(spec, QuantizedEmbeddingBag.from_dense(
+            table, bits=int(spec.get("bits", 4)), mode=spec.mode,
+        ))
+
+    @classmethod
+    def from_table(cls, table: np.ndarray, *, bits: int = 4,
+                   mode: str = "sum", name: str | None = None
+                   ) -> "QuantizedEmbedding":
+        """Wrap a *trained* dense table (the real post-training workflow)."""
+        table = np.asarray(table)
+        spec = EmbeddingSpec(kind=cls.kind, num_rows=table.shape[0],
+                             dim=table.shape[1], mode=mode, name=name,
+                             params={"bits": int(bits)})
+        return cls(spec, table=table)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.inner.scales.dtype
+
+    def _extra_arrays(self) -> list[np.ndarray]:
+        return [self.inner.codes, self.inner.scales, self.inner.zero_points]
+
+    def _extra_state(self) -> dict[str, np.ndarray]:
+        return {"codes": self.inner.codes, "scales": self.inner.scales,
+                "zero_points": self.inner.zero_points}
+
+    def _load_extra_state(self, state: dict[str, np.ndarray]) -> None:
+        self.inner.codes = np.asarray(state["codes"],
+                                      dtype=self.inner.codes.dtype)
+        self.inner.scales = np.asarray(state["scales"],
+                                       dtype=self.inner.scales.dtype)
+        self.inner.zero_points = np.asarray(state["zero_points"],
+                                            dtype=self.inner.zero_points.dtype)
+
+    @classmethod
+    def predict_memory_bytes(cls, spec: EmbeddingSpec) -> int:
+        bits = int(spec.get("bits", 4))
+        code_itemsize = 1 if bits <= 8 else 2
+        codes = spec.num_rows * spec.dim * code_itemsize
+        side = 2 * spec.num_rows * default_dtype().itemsize
+        return codes + side

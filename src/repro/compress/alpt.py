@@ -1,0 +1,172 @@
+"""Adaptive low-precision training (ALPT, Li et al. 2023 style).
+
+The table is stored as ``bits``-wide signed integer codes with one
+*learned* scale per row: ``W[i] = (codes[i] / qmax) * scales[i]``, i.e.
+the scale is the row's full range and codes are a fraction of it — the
+normalization keeps the scale's gradient (``sum_j g_j c_j / qmax``, with
+``|c/qmax| <= 1``) at the same magnitude as an ordinary weight-row
+gradient, so one global learning rate trains both. Unlike
+post-training quantization the scales receive real gradients (they are a
+Parameter, updated by whatever optimizer drives training), and the codes
+themselves are refreshed in-place by an internal stochastically-rounded
+SGD step on the touched rows — so the quantization grid adapts to the
+weight distribution *during* training instead of being fit once at the
+end.
+
+Memory is one integer per weight plus one float per row; at 8 bits and
+float64 policy that is an ~7.5x ratio, independent of table size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compress.base import (
+    CompressedEmbedding,
+    EmbeddingSpec,
+    _check_known_params,
+    register_compressor,
+)
+from repro.ops.embedding import segment_sum
+from repro.ops.module import Parameter
+from repro.tt.kernels import scatter_add_rows
+from repro.utils.dtypes import default_dtype, result_dtype
+from repro.utils.seeding import as_rng
+from repro.utils.validation import check_csr
+
+__all__ = ["ALPTEmbeddingBag"]
+
+
+@register_compressor
+class ALPTEmbeddingBag(CompressedEmbedding):
+    """Integer-code table with learned per-row scales.
+
+    Knobs: ``bits`` (2..16, default 8) and ``weight_lr`` — the step size
+    of the internal stochastic-rounding update that moves the codes
+    (0 freezes codes, training only the scales).
+    """
+
+    kind = "alpt"
+
+    def __init__(self, spec: EmbeddingSpec):
+        _check_known_params(spec, {"bits", "weight_lr"})
+        super().__init__(spec)
+        self.bits = int(spec.get("bits", 8))
+        if not (2 <= self.bits <= 16):
+            raise ValueError(f"bits must be in [2, 16], got {self.bits}")
+        self.weight_lr = float(spec.get("weight_lr", 0.05))
+        self.qmax = (1 << (self.bits - 1)) - 1
+        rng = as_rng(spec.seed)
+        name = spec.name or "alpt_emb"
+        # Start from the DLRM dense default Uniform(±1/sqrt(M)), then
+        # snap onto the per-row grid.
+        bound = 1.0 / np.sqrt(self.num_rows)
+        dense = rng.uniform(-bound, bound, size=(self.num_rows, self.dim))
+        row_max = np.abs(dense).max(axis=1, keepdims=True)
+        scales = np.where(row_max > 0, row_max, bound)
+        code_dtype = np.int8 if self.bits <= 8 else np.int16
+        self.codes = np.clip(np.rint(dense / scales * self.qmax),
+                             -self.qmax, self.qmax).astype(code_dtype)
+        self.scales = Parameter(scales, name=f"{name}.scales", sparse=True)
+        # Deterministic stream for the stochastic rounding of code updates,
+        # separate from the init stream so replays line up.
+        self._round_rng = as_rng(spec.seed + 1)
+        self._cache: dict | None = None
+
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        dt = result_dtype(self.scales.data)
+        frac = self.codes[indices].astype(dt) * (1.0 / self.qmax)
+        return frac * self.scales.data[indices]
+
+    def _forward_impl(self, indices, offsets, per_sample_weights) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        if offsets is None:
+            offsets = np.arange(indices.size + 1, dtype=np.int64)
+        indices, offsets = check_csr(indices, offsets, self.num_rows)
+        alpha = None
+        if per_sample_weights is not None:
+            alpha = np.asarray(per_sample_weights,
+                               dtype=result_dtype(self.scales.data)).reshape(-1)
+            if alpha.shape[0] != indices.shape[0]:
+                raise ValueError("per_sample_weights must match indices in length")
+        rows = self.lookup(indices)
+        weighted = rows if alpha is None else rows * alpha[:, None]
+        out = segment_sum(weighted, offsets)
+        counts = np.diff(offsets)
+        if self.mode == "mean":
+            scale = np.asarray(np.where(counts > 0, counts, 1), dtype=out.dtype)
+            out = out / scale[:, None]
+        self._cache = {"indices": indices, "offsets": offsets,
+                       "alpha": alpha, "counts": counts}
+        return out
+
+    def _backward_impl(self, grad_out) -> None:
+        c = self._cache
+        grad_out = np.asarray(grad_out, dtype=self.dtype)
+        counts = c["counts"]
+        if self.mode == "mean":
+            scale = np.asarray(np.where(counts > 0, counts, 1),
+                               dtype=grad_out.dtype)
+            grad_out = grad_out / scale[:, None]
+        bag_ids = np.repeat(np.arange(len(counts)), counts)
+        grad_rows = grad_out[bag_ids]  # (n, dim)
+        if c["alpha"] is not None:
+            grad_rows = grad_rows * c["alpha"][:, None]
+        indices = c["indices"]
+        # (n, dim) code fractions in [-1, 1]
+        frac_rows = self.codes[indices].astype(grad_rows.dtype) * (1.0 / self.qmax)
+        # dL/dscale_i = sum_j dL/dW_ij * c_ij/qmax  (W = c/qmax * scale).
+        grad_scale = (grad_rows * frac_rows).sum(axis=1, keepdims=True)
+        scatter_add_rows(self.scales.grad, indices, grad_scale)
+        self.scales.record_touched(indices)
+        if self.weight_lr > 0.0:
+            self._update_codes(indices, grad_rows)
+        self._cache = None
+
+    def _update_codes(self, indices: np.ndarray, grad_rows: np.ndarray) -> None:
+        """Stochastically-rounded SGD step on the touched code rows."""
+        uniq, inv = np.unique(indices, return_inverse=True)
+        grad_w = np.zeros((uniq.size, self.dim), dtype=grad_rows.dtype)
+        scatter_add_rows(grad_w, inv, grad_rows)
+        scales = self.scales.data[uniq]  # (u, 1)
+        # Step in weight space, then express the result on the row grid
+        # (one grid step = scale/qmax in weight units).
+        safe = np.where(np.abs(scales) > 1e-12, scales, 1e-12)
+        target = (self.codes[uniq].astype(grad_w.dtype)
+                  - self.weight_lr * grad_w * self.qmax / safe)
+        lo = np.floor(target)
+        frac = target - lo
+        rounded = lo + (self._round_rng.random(size=target.shape) < frac)
+        self.codes[uniq] = np.clip(rounded, -self.qmax, self.qmax
+                                   ).astype(self.codes.dtype)
+
+    # ------------------------------------------------------------------ #
+
+    def _extra_arrays(self) -> list[np.ndarray]:
+        return [self.codes]
+
+    def _extra_state(self) -> dict[str, np.ndarray]:
+        return {"codes": self.codes}
+
+    def _load_extra_state(self, state: dict[str, np.ndarray]) -> None:
+        self.codes = np.asarray(state["codes"], dtype=self.codes.dtype
+                                ).reshape(self.num_rows, self.dim)
+
+    def materialize(self) -> np.ndarray:
+        """Dense ``num_rows x dim`` table (analysis only)."""
+        dt = result_dtype(self.scales.data)
+        return self.codes.astype(dt) * (1.0 / self.qmax) * self.scales.data
+
+    def num_parameters(self) -> int:
+        return self.scales.size
+
+    @classmethod
+    def predict_memory_bytes(cls, spec: EmbeddingSpec) -> int:
+        bits = int(spec.get("bits", 8))
+        code_itemsize = 1 if bits <= 8 else 2
+        codes = spec.num_rows * spec.dim * code_itemsize
+        scales = spec.num_rows * default_dtype().itemsize
+        return codes + scales

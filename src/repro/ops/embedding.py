@@ -67,6 +67,7 @@ class EmbeddingBag(Module):
             data = initializer(rng, (num_rows, dim))
         self.weight = Parameter(data, name=f"{name}.weight", sparse=True)
         self._cache: tuple | None = None
+        self._did_backward = False
 
     def forward(self, indices: np.ndarray, offsets: np.ndarray,
                 per_sample_weights: np.ndarray | None = None) -> np.ndarray:
@@ -88,11 +89,23 @@ class EmbeddingBag(Module):
             scale = np.asarray(np.where(counts > 0, counts, 1), dtype=out.dtype)
             out = out / scale[:, None]
         self._cache = (indices, offsets, alpha, counts)
+        self._did_backward = False
         return out
 
     def backward(self, grad_out: np.ndarray) -> None:
-        """Accumulate grads into ``weight.grad``; bags carry no input grad."""
+        """Accumulate grads into ``weight.grad``; bags carry no input grad.
+
+        Consumes the forward cache: a second ``backward`` for the same
+        forward would silently double-accumulate gradients, so it raises
+        instead (the contract every zoo member shares — see
+        ``repro.compress.base.CompressedEmbedding``).
+        """
         if self._cache is None:
+            if self._did_backward:
+                raise RuntimeError(
+                    "backward called twice for one forward; table gradients "
+                    "would double-accumulate — run forward again first"
+                )
             raise RuntimeError("backward called before forward")
         indices, offsets, alpha, counts = self._cache
         grad_out = np.asarray(grad_out, dtype=self.weight.data.dtype)
@@ -107,6 +120,8 @@ class EmbeddingBag(Module):
             grad_rows = grad_rows * alpha[:, None]
         np.add.at(self.weight.grad, indices, grad_rows)
         self.weight.record_touched(indices)
+        self._cache = None
+        self._did_backward = True
 
     __call__ = forward
 
